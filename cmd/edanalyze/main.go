@@ -1,0 +1,87 @@
+// Command edanalyze recomputes the paper's figures from a stored XML
+// dataset directory (as produced by edsim -out).
+//
+// Usage:
+//
+//	edanalyze -in /tmp/ds [-csv /tmp/csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edtrace"
+	"edtrace/internal/analysis"
+	"edtrace/internal/dataset"
+	"edtrace/internal/stats"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "dataset directory (required)")
+		csv    = flag.String("csv", "", "directory to write per-figure CSV series")
+		verify = flag.Bool("verify", false, "check every spec invariant before analysing")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "edanalyze: -in is required")
+		os.Exit(2)
+	}
+
+	man, err := dataset.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edanalyze:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d records in %d chunks, %d clients, %d fileIDs\n",
+		man.Records, len(man.Chunks), man.DistinctClients, man.DistinctFiles)
+
+	if *verify {
+		rep, err := dataset.Verify(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edanalyze:", err)
+			os.Exit(1)
+		}
+		if !rep.OK() {
+			fmt.Fprintln(os.Stderr, "edanalyze: dataset violates its specification:")
+			for _, v := range rep.Violations {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("verified: all spec invariants hold over %d records\n", rep.Records)
+	}
+
+	figs, err := edtrace.AnalyzeDataset(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edanalyze:", err)
+		os.Exit(1)
+	}
+	fmt.Print(figs.Render())
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "edanalyze:", err)
+			os.Exit(1)
+		}
+		series := map[string]*stats.IntHist{
+			"fig4_providers_per_file.csv": figs.Fig4,
+			"fig5_askers_per_file.csv":    figs.Fig5,
+			"fig6_files_per_provider.csv": figs.Fig6,
+			"fig7_files_per_asker.csv":    figs.Fig7,
+			"fig8_file_sizes_kb.csv":      figs.Fig8,
+		}
+		for name, h := range series {
+			var b strings.Builder
+			analysis.WriteCSV(h, &b)
+			if err := os.WriteFile(filepath.Join(*csv, name), []byte(b.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "edanalyze:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("CSV series written to %s\n", *csv)
+	}
+}

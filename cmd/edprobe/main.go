@@ -1,0 +1,85 @@
+// Command edprobe performs the active measurements the paper's
+// conclusion proposes as complementary future work ("active measurements
+// from clients, for instance"): it periodically probes a live eDonkey
+// server over UDP — status pings, server description, sample searches
+// and source queries — and prints a time series of the server's counters
+// and responsiveness.
+//
+// Usage:
+//
+//	edprobe -server 127.0.0.1:4665 -every 2s -count 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"edtrace/internal/ed2k"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "127.0.0.1:4665", "server UDP address")
+		every      = flag.Duration("every", 2*time.Second, "probe interval")
+		count      = flag.Int("count", 10, "number of probe rounds (0 = forever)")
+		keyword    = flag.String("keyword", "mozart", "sample search keyword")
+		timeout    = flag.Duration("timeout", time.Second, "per-answer timeout")
+	)
+	flag.Parse()
+
+	addr, err := net.ResolveUDPAddr("udp4", *serverAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edprobe:", err)
+		os.Exit(1)
+	}
+	conn, err := net.DialUDP("udp4", nil, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edprobe:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	fmt.Printf("probing %s every %v\n", addr, *every)
+	fmt.Printf("%-10s %-10s %-10s %-10s %-10s %-8s\n",
+		"round", "users", "files", "rtt", "results", "alive")
+
+	buf := make([]byte, 64<<10)
+	exchange := func(m ed2k.Message) (ed2k.Message, time.Duration, error) {
+		start := time.Now()
+		if _, err := conn.Write(ed2k.Encode(m)); err != nil {
+			return nil, 0, err
+		}
+		conn.SetReadDeadline(time.Now().Add(*timeout))
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, time.Since(start), err
+		}
+		ans, err := ed2k.Decode(buf[:n])
+		return ans, time.Since(start), err
+	}
+
+	for round := 1; *count == 0 || round <= *count; round++ {
+		users, files := uint32(0), uint32(0)
+		alive := false
+		var rtt time.Duration
+		if ans, d, err := exchange(&ed2k.StatReq{Challenge: uint32(round)}); err == nil {
+			if sr, ok := ans.(*ed2k.StatRes); ok && sr.Challenge == uint32(round) {
+				users, files, alive, rtt = sr.Users, sr.Files, true, d
+			}
+		}
+		results := -1
+		if ans, _, err := exchange(&ed2k.SearchReq{Expr: ed2k.Keyword(*keyword)}); err == nil {
+			if sr, ok := ans.(*ed2k.SearchRes); ok {
+				results = len(sr.Results)
+			}
+		}
+		fmt.Printf("%-10d %-10d %-10d %-10s %-10d %-8v\n",
+			round, users, files, rtt.Round(time.Microsecond), results, alive)
+		if *count == 0 || round < *count {
+			time.Sleep(*every)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command edserver runs the eDonkey directory server on a real UDP
+// socket — the substrate whose simulated twin the capture observes.
+// Point eDonkey-speaking clients (or examples/livecapture) at it.
+//
+// Usage:
+//
+//	edserver -listen 127.0.0.1:4665 -name "my server"
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/server"
+	"edtrace/internal/simtime"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:4665", "UDP listen address")
+		name   = flag.String("name", "edtrace server", "server name")
+		desc   = flag.String("desc", "eDonkey reproduction server", "server description")
+		quiet  = flag.Bool("quiet", false, "suppress per-message logging")
+	)
+	flag.Parse()
+
+	addr, err := net.ResolveUDPAddr("udp4", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edserver:", err)
+		os.Exit(1)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edserver:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	srv := server.New(*name, *desc)
+	start := time.Now()
+	fmt.Printf("edserver: listening on %s\n", conn.LocalAddr())
+
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edserver: read:", err)
+			continue
+		}
+		msg, err := ed2k.Decode(buf[:n])
+		if err != nil {
+			if !*quiet {
+				fmt.Printf("drop %d bytes from %s: %v\n", n, from, err)
+			}
+			continue
+		}
+		now := simtime.Time(time.Since(start))
+		ip := binary.BigEndian.Uint32(from.IP.To4())
+		answers := srv.Handle(now, ed2k.ClientID(ip), uint16(from.Port), msg)
+		if !*quiet {
+			fmt.Printf("%s from %s -> %d answers\n",
+				ed2k.OpcodeName(msg.Opcode()), from, len(answers))
+		}
+		for _, a := range answers {
+			if _, err := conn.WriteToUDP(ed2k.Encode(a), from); err != nil {
+				fmt.Fprintln(os.Stderr, "edserver: write:", err)
+			}
+		}
+	}
+}

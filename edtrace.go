@@ -1,0 +1,144 @@
+// Package edtrace reproduces "Ten weeks in the life of an eDonkey
+// server" (Aidouni, Latapy, Magnien; arXiv:0809.3415): a complete
+// measurement infrastructure for eDonkey directory-server traffic —
+// capture, real-time decoding, anonymisation, XML dataset storage — plus
+// the synthetic server/client world it observes and the analyses that
+// regenerate every figure of the paper.
+//
+// The package is a thin facade over the internal modules:
+//
+//   - Run executes a full virtual capture (world + network + capture
+//     machine + pipeline) and returns the report and figures;
+//   - AnalyzeDataset recomputes the figures from a stored XML dataset;
+//   - Config wires the knobs documented in DESIGN.md.
+//
+// See examples/ for runnable entry points and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package edtrace
+
+import (
+	"fmt"
+	"strconv"
+
+	"edtrace/internal/analysis"
+	"edtrace/internal/core"
+	"edtrace/internal/dataset"
+	"edtrace/internal/xmlenc"
+)
+
+// Config describes one capture experiment.
+type Config struct {
+	// Sim is the full simulation configuration (world, traffic, capture
+	// machine). Start from DefaultConfig().Sim.
+	Sim core.SimConfig
+	// DatasetDir, when set, streams the anonymised XML dataset there.
+	DatasetDir string
+	// Compress gzips the dataset chunks.
+	Compress bool
+	// CollectFigures computes the paper's figures online during the run.
+	CollectFigures bool
+}
+
+// DefaultConfig returns a laptop-scale experiment with figure collection
+// enabled.
+func DefaultConfig() Config {
+	return Config{Sim: core.DefaultSimConfig(), CollectFigures: true}
+}
+
+// Result bundles everything a capture run produces.
+type Result struct {
+	// Report carries the headline counters (the paper's abstract/§2).
+	Report *core.Report
+	// Figures are the regenerated distributions (nil unless
+	// CollectFigures was set).
+	Figures *analysis.Figures
+	// Fig2 is the capture-loss series; Fig3 the anonymisation-bucket
+	// analysis.
+	Fig2 *analysis.Fig2
+	Fig3 *analysis.Fig3
+}
+
+// teeSink fans records out to several sinks.
+type teeSink struct{ sinks []core.RecordSink }
+
+func (t teeSink) Write(r *xmlenc.Record) error {
+	for _, s := range t.sinks {
+		if err := s.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	var sinks []core.RecordSink
+	if cfg.Sim.Sink != nil {
+		// A caller-provided sink keeps receiving records alongside the
+		// figure collector and dataset writer.
+		sinks = append(sinks, cfg.Sim.Sink)
+	}
+	var collector *analysis.Collector
+	if cfg.CollectFigures {
+		collector = analysis.NewCollector()
+		sinks = append(sinks, collector)
+	}
+	var dw *dataset.Writer
+	if cfg.DatasetDir != "" {
+		var err error
+		dw, err = dataset.NewWriter(cfg.DatasetDir, dataset.WriterOptions{
+			Compress: cfg.Compress,
+			Meta: map[string]string{
+				"seed":    strconv.FormatUint(cfg.Sim.Workload.Seed, 10),
+				"clients": strconv.Itoa(cfg.Sim.Workload.NumClients),
+				"files":   strconv.Itoa(cfg.Sim.Workload.NumFiles),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, dw)
+	}
+	switch len(sinks) {
+	case 0:
+		cfg.Sim.Sink = core.DiscardSink{}
+	case 1:
+		cfg.Sim.Sink = sinks[0]
+	default:
+		cfg.Sim.Sink = teeSink{sinks}
+	}
+
+	world, err := core.NewSimWorld(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	report, err := world.Run()
+	if err != nil {
+		return nil, err
+	}
+	if dw != nil {
+		dw.SetCounters(report.DistinctClients, report.DistinctFiles)
+		if err := dw.Close(); err != nil {
+			return nil, fmt.Errorf("edtrace: closing dataset: %w", err)
+		}
+	}
+
+	res := &Result{
+		Report: report,
+		Fig2:   analysis.NewFig2(report.LossPerSecond),
+		Fig3:   analysis.NewFig3(report.BucketSizes),
+	}
+	if collector != nil {
+		res.Figures = collector.Finalize()
+	}
+	return res, nil
+}
+
+// AnalyzeDataset streams a stored dataset and recomputes the figures.
+func AnalyzeDataset(dir string) (*analysis.Figures, error) {
+	c := analysis.NewCollector()
+	if err := dataset.ForEach(dir, c.Write); err != nil {
+		return nil, err
+	}
+	return c.Finalize(), nil
+}

@@ -1,0 +1,163 @@
+package edtrace
+
+import (
+	"testing"
+
+	"edtrace/internal/analysis"
+	"edtrace/internal/dataset"
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sim.Workload.NumClients = 300
+	cfg.Sim.Workload.NumFiles = 3000
+	cfg.Sim.Workload.VocabWords = 300
+	cfg.Sim.Traffic.Duration = 3 * simtime.Hour
+	cfg.Sim.Traffic.FlashCrowds = 1
+	return cfg
+}
+
+func TestRunCollectsFigures(t *testing.T) {
+	res, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Figures == nil {
+		t.Fatal("figures not collected")
+	}
+	if res.Figures.Fig4.N() == 0 || res.Figures.Fig7.N() == 0 {
+		t.Fatal("figure histograms empty")
+	}
+	if res.Fig2 == nil || res.Fig3 == nil {
+		t.Fatal("capture figures missing")
+	}
+	if res.Fig3.SizeHist.N() == 0 {
+		t.Fatal("bucket histogram empty")
+	}
+	if res.Report.Pipeline.Records == 0 {
+		t.Fatal("no records")
+	}
+}
+
+func TestRunWritesDatasetAndAnalyzeMatches(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DatasetDir = t.TempDir()
+	cfg.Compress = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := dataset.Open(cfg.DatasetDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Records != res.Report.Pipeline.Records {
+		t.Fatalf("manifest %d records, report %d", man.Records, res.Report.Pipeline.Records)
+	}
+	if man.DistinctClients != res.Report.DistinctClients {
+		t.Fatal("manifest counters not set")
+	}
+
+	// Offline analysis of the stored dataset must reproduce the online
+	// figures exactly.
+	figs, err := AnalyzeDataset(cfg.DatasetDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2]uint64{
+		"fig4": {figs.Fig4.N(), res.Figures.Fig4.N()},
+		"fig5": {figs.Fig5.N(), res.Figures.Fig5.N()},
+		"fig6": {figs.Fig6.N(), res.Figures.Fig6.N()},
+		"fig7": {figs.Fig7.N(), res.Figures.Fig7.N()},
+		"fig8": {figs.Fig8.N(), res.Figures.Fig8.N()},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s: offline %d != online %d", name, pair[0], pair[1])
+		}
+	}
+	if figs.Fig4.Max() != res.Figures.Fig4.Max() {
+		t.Error("fig4 max differs offline vs online")
+	}
+}
+
+func TestProducedDatasetPassesVerification(t *testing.T) {
+	// The pipeline's own output must satisfy every invariant the spec
+	// promises consumers (dense IDs, monotone t, hex hashes, known ops).
+	cfg := tinyConfig()
+	cfg.DatasetDir = t.TempDir()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dataset.Verify(cfg.DatasetDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("our own dataset violates the spec:\n%v", rep.Violations)
+	}
+	if rep.Records == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestAnalyzeDatasetMissingDir(t *testing.T) {
+	if _, err := AnalyzeDataset("/nonexistent/nowhere"); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}
+
+func TestTemporalAnalysisRecoversDiurnalProfile(t *testing.T) {
+	// The capture's records must carry the workload's day/night swing:
+	// folding a one-day run onto 24 hours has to show more activity in
+	// the injected peak half-day than in the trough half-day.
+	tc := analysis.NewTemporalCollector(3600)
+	cfg := tinyConfig()
+	cfg.Sim.Traffic.Duration = simtime.Day
+	cfg.Sim.Traffic.DiurnalAmplitude = 0.8
+	cfg.CollectFigures = false
+	cfg.Sim.Sink = tc
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	prof := tc.DiurnalProfile()
+	var peak, trough float64
+	for h := 0; h < 12; h++ {
+		peak += prof[h] // sin(2πt/day) is positive in the first half-day
+		trough += prof[h+12]
+	}
+	if peak <= trough*1.2 {
+		t.Fatalf("diurnal swing not recovered: peak half %f vs trough half %f", peak, trough)
+	}
+	clients, files := tc.Growth()
+	if len(clients) == 0 || clients[len(clients)-1] == 0 || files[len(files)-1] == 0 {
+		t.Fatal("growth curves empty")
+	}
+}
+
+type countSink struct{ n int }
+
+func (c *countSink) Write(*xmlenc.Record) error { c.n++; return nil }
+
+func TestRunPreservesCallerSink(t *testing.T) {
+	// A caller-provided sink must keep receiving records even when the
+	// figure collector is also active.
+	sink := &countSink{}
+	cfg := tinyConfig()
+	cfg.Sim.Sink = sink
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.n == 0 {
+		t.Fatal("caller sink starved")
+	}
+	if uint64(sink.n) != res.Report.Pipeline.Records {
+		t.Fatalf("sink saw %d records, pipeline reports %d", sink.n, res.Report.Pipeline.Records)
+	}
+	if res.Figures == nil || res.Figures.Fig4.N() == 0 {
+		t.Fatal("collector starved while caller sink active")
+	}
+}

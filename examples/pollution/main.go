@@ -1,0 +1,71 @@
+// Pollution detection: §2.4 of the paper discovers forged fileIDs by
+// accident — anonymisation buckets indexed by the first two fileID bytes
+// blow up because pollution tools stamp fixed prefixes. This example
+// reproduces that discovery: it builds a catalog with polluters, feeds
+// every fileID through both bucket layouts, prints the skew, and then
+// uses the skew to *detect* the forged prefixes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edtrace/internal/anonymize"
+	"edtrace/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultConfig()
+	cfg.NumFiles = 60000
+	cfg.NumClients = 6000 // polluter count scales with the population
+	cat, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forged := len(cat.Files) - cat.GenuineCount
+	fmt.Printf("catalog: %d genuine + %d forged fileIDs (%.2f%% pollution)\n\n",
+		cat.GenuineCount, forged, 100*float64(forged)/float64(len(cat.Files)))
+
+	firstTwo := anonymize.NewFileBuckets(0, 1)
+	chosen := anonymize.NewFileBuckets(5, 11)
+	for _, f := range cat.Files {
+		firstTwo.Anonymize(f.ID)
+		chosen.Anonymize(f.ID)
+	}
+
+	report := func(name string, fb *anonymize.FileBuckets) {
+		sizes := fb.BucketSizes()
+		total, nonEmpty := 0, 0
+		for _, s := range sizes {
+			total += s
+			if s > 0 {
+				nonEmpty++
+			}
+		}
+		mean := float64(total) / float64(len(sizes))
+		idx, maxSize := fb.MaxBucket()
+		fmt.Printf("%s: mean bucket %.2f, max bucket %d (index %d = bytes %02x %02x)\n",
+			name, mean, maxSize, idx, idx>>8, idx&0xFF)
+	}
+	fmt.Println("=== Figure 3: anonymisation array sizes under two byte pairs ===")
+	report("first two bytes (paper's first attempt)", firstTwo)
+	report("bytes (5,11)    (paper's fix)          ", chosen)
+
+	// Detection: any bucket k standard deviations above the mean under
+	// first-two-byte indexing reveals a forged prefix.
+	fmt.Println("\n=== pollution detection from bucket skew ===")
+	sizes := firstTwo.BucketSizes()
+	mean := 0.0
+	for _, s := range sizes {
+		mean += float64(s)
+	}
+	mean /= float64(len(sizes))
+	for idx, s := range sizes {
+		if float64(s) > 20*mean && s > 50 {
+			fmt.Printf("suspicious prefix %02X %02X: %d fileIDs (%.0fx the mean) — forged\n",
+				idx>>8, idx&0xFF, s, float64(s)/mean)
+		}
+	}
+	fmt.Println("\n(the paper saw exactly this: arrays 0 and 256 held the forged",
+		"fileIDs reported by Lee et al. [12])")
+}

@@ -1,0 +1,38 @@
+// TCP reconstruction under loss: the paper analyses UDP only because
+// "packet losses … make tcp flows reconstruction very difficult, as
+// packets are missing inside flows" (§2.2, footnote 2). This example
+// quantifies that design decision with the TCP substrate: it sweeps the
+// segment loss rate and prints how the recoverable fraction of eDonkey
+// messages collapses superlinearly, while UDP decoding loses only the
+// datagrams themselves.
+package main
+
+import (
+	"fmt"
+
+	"edtrace/internal/tcpsim"
+)
+
+func main() {
+	fmt.Println("eDonkey TCP stream reconstruction vs capture loss rate")
+	fmt.Println("(400 flows, 10 announce messages per flow, like a busy server minute)")
+	fmt.Println()
+	fmt.Printf("%-12s %-14s %-14s %-12s %-10s\n",
+		"loss rate", "UDP msg loss", "TCP msg loss", "aborted", "stalls")
+	for _, loss := range []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05} {
+		res := tcpsim.ReconstructionExperiment{
+			Flows: 400, MsgsPerFlow: 10, LossRate: loss, Seed: 42,
+		}.Run()
+		tcpLoss := 1 - res.RecoveryRate()
+		fmt.Printf("%-12.3f %-14.4f %-14.4f %-12d %-10d\n",
+			loss,
+			loss, // UDP loses exactly the lost datagrams
+			tcpLoss,
+			res.Stats.AbortedFlows,
+			res.Stats.GapStalls)
+	}
+	fmt.Println()
+	fmt.Println("one lost segment stalls a whole flow: this is why the paper's")
+	fmt.Println("ten-week dataset is UDP-only, and why this reproduction models")
+	fmt.Println("the TCP side as an explicit (negative) experiment.")
+}

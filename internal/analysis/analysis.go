@@ -1,0 +1,336 @@
+// Package analysis reproduces §3 of the paper: it consumes the
+// anonymised dataset (streaming, one record at a time) and regenerates
+// every figure of the evaluation:
+//
+//	Fig 2 — ethernet losses per second + cumulative (from capture stats)
+//	Fig 3 — fileID anonymisation bucket sizes (from pipeline internals)
+//	Fig 4 — #clients providing each file
+//	Fig 5 — #clients asking for each file
+//	Fig 6 — #files provided by each client
+//	Fig 7 — #files asked for by each client
+//	Fig 8 — file size distribution
+//
+// The Collector implements core.RecordSink, so figures can be computed
+// online during a capture or offline from a stored dataset.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"edtrace/internal/pcap"
+	"edtrace/internal/stats"
+	"edtrace/internal/xmlenc"
+)
+
+// Collector accumulates the paper's per-figure statistics from records.
+//
+// Distinct (file, client) pairs are collected as packed uint64 keys and
+// deduplicated once at Finalize: re-announcements at every session are
+// frequent, and sort-dedup costs far less memory than a hash set per
+// file.
+type Collector struct {
+	providePairs []uint64 // fileID<<32 | client, from OfferFiles
+	askPairs     []uint64 // fileID<<32 | client, from GetSources
+	sizes        map[uint32]uint64
+	records      uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{sizes: make(map[uint32]uint64)}
+}
+
+// Write implements core.RecordSink / dataset.ForEach callbacks.
+func (c *Collector) Write(r *xmlenc.Record) error {
+	c.records++
+	switch r.Op {
+	case "OfferFiles":
+		for i := range r.Files {
+			f := &r.Files[i]
+			c.providePairs = append(c.providePairs, uint64(f.ID)<<32|uint64(r.Client))
+			if _, ok := c.sizes[f.ID]; !ok {
+				c.sizes[f.ID] = f.SizeKB
+			}
+		}
+	case "SearchRes":
+		// Search answers also reveal file sizes (the paper's Fig 8 uses
+		// "the answers of the server to some queries").
+		for i := range r.Files {
+			f := &r.Files[i]
+			if _, ok := c.sizes[f.ID]; !ok {
+				c.sizes[f.ID] = f.SizeKB
+			}
+		}
+	case "GetSources":
+		for _, id := range r.FileRefs {
+			c.askPairs = append(c.askPairs, uint64(id)<<32|uint64(r.Client))
+		}
+	}
+	return nil
+}
+
+// Records reports how many records were consumed.
+func (c *Collector) Records() uint64 { return c.records }
+
+// Figures holds every regenerated distribution.
+type Figures struct {
+	// Fig4: x = #providers of a file, y = #files.
+	Fig4 *stats.IntHist
+	// Fig5: x = #askers of a file, y = #files.
+	Fig5 *stats.IntHist
+	// Fig6: x = #files provided by a client, y = #clients.
+	Fig6 *stats.IntHist
+	// Fig7: x = #files asked by a client, y = #clients.
+	Fig7 *stats.IntHist
+	// Fig8: x = file size in KB, y = #files of that size.
+	Fig8 *stats.IntHist
+
+	// Power-law fits for Fig 4/5 (the paper: "reasonably well fitted by
+	// a power-law") and for Fig 6/7 where the paper argues the opposite.
+	Fit4, Fit5, Fit6, Fit7 stats.PowerLawFit
+
+	// ProvideAskCorr is the Pearson correlation between the number of
+	// files a client provides and the number it asks for, over clients
+	// doing both — the §3.2 follow-up analysis the paper proposes
+	// ("observing the correlations between the number of files provided
+	// and asked for").
+	ProvideAskCorr float64
+	// BothActive counts clients that both provide and ask.
+	BothActive int
+}
+
+// Finalize deduplicates and histograms everything.
+func (c *Collector) Finalize() *Figures {
+	f := &Figures{
+		Fig4: stats.NewIntHist(),
+		Fig5: stats.NewIntHist(),
+		Fig6: stats.NewIntHist(),
+		Fig7: stats.NewIntHist(),
+		Fig8: stats.NewIntHist(),
+	}
+	perFile, provideByClient := pairCounts(c.providePairs)
+	fillHist(f.Fig4, perFile)
+	fillHist(f.Fig6, provideByClient)
+	perFile, askByClient := pairCounts(c.askPairs)
+	fillHist(f.Fig5, perFile)
+	fillHist(f.Fig7, askByClient)
+	f.ProvideAskCorr, f.BothActive = correlate(provideByClient, askByClient)
+	for _, kb := range c.sizes {
+		f.Fig8.Add(kb)
+	}
+	if fit, err := stats.FitPowerLaw(f.Fig4); err == nil {
+		f.Fit4 = fit
+	}
+	if fit, err := stats.FitPowerLaw(f.Fig5); err == nil {
+		f.Fit5 = fit
+	}
+	if fit, err := stats.FitPowerLaw(f.Fig6); err == nil {
+		f.Fit6 = fit
+	}
+	if fit, err := stats.FitPowerLaw(f.Fig7); err == nil {
+		f.Fit7 = fit
+	}
+	return f
+}
+
+// pairCounts dedups packed pairs and returns, for the high half (file)
+// and the low half (client), the number of distinct counterparts.
+func pairCounts(pairs []uint64) (perHigh, perLow map[uint32]uint32) {
+	sorted := append([]uint64(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	perHigh = make(map[uint32]uint32)
+	perLow = make(map[uint32]uint32)
+	var prev uint64
+	for i, p := range sorted {
+		if i > 0 && p == prev {
+			continue
+		}
+		prev = p
+		perHigh[uint32(p>>32)]++
+		perLow[uint32(p)]++
+	}
+	return perHigh, perLow
+}
+
+func fillHist(h *stats.IntHist, counts map[uint32]uint32) {
+	for _, n := range counts {
+		h.Add(uint64(n))
+	}
+}
+
+// correlate computes the Pearson correlation between provided and asked
+// counts over clients present in both maps.
+func correlate(provide, ask map[uint32]uint32) (r float64, n int) {
+	var sx, sy, sxx, syy, sxy float64
+	for client, p := range provide {
+		a, ok := ask[client]
+		if !ok {
+			continue
+		}
+		x, y := float64(p), float64(a)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return 0, n
+	}
+	fn := float64(n)
+	cov := sxy - sx*sy/fn
+	vx := sxx - sx*sx/fn
+	vy := syy - sy*sy/fn
+	if vx <= 0 || vy <= 0 {
+		return 0, n
+	}
+	return cov / math.Sqrt(vx*vy), n
+}
+
+// Fig2 is the capture-loss series of the paper's Figure 2.
+type Fig2 struct {
+	// PerSecond mirrors the kernel buffer accounting.
+	PerSecond []pcap.SecondStats
+	// Cumulative losses at each second.
+	Cumulative []uint64
+	TotalLost  uint64
+	TotalSeen  uint64
+}
+
+// NewFig2 derives the series from capture stats.
+func NewFig2(per []pcap.SecondStats) *Fig2 {
+	f := &Fig2{PerSecond: per, Cumulative: make([]uint64, len(per))}
+	var acc uint64
+	for i, s := range per {
+		acc += s.Dropped
+		f.Cumulative[i] = acc
+		f.TotalLost += s.Dropped
+		f.TotalSeen += s.Captured
+	}
+	return f
+}
+
+// LossRate returns overall lost/(lost+captured).
+func (f *Fig2) LossRate() float64 {
+	tot := f.TotalLost + f.TotalSeen
+	if tot == 0 {
+		return 0
+	}
+	return float64(f.TotalLost) / float64(tot)
+}
+
+// BurstSeconds counts seconds with at least one loss — Figure 2 shows
+// losses concentrated in spikes, not spread uniformly.
+func (f *Fig2) BurstSeconds() int {
+	n := 0
+	for _, s := range f.PerSecond {
+		if s.Dropped > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Fig3 summarises the fileID anonymisation arrays.
+type Fig3 struct {
+	// SizeHist: x = bucket size, y = number of buckets with that size.
+	SizeHist *stats.IntHist
+	MaxSize  int
+	MaxIdx   int
+	Mean     float64
+	// Pathological buckets: indexes whose size exceeds 8x the mean.
+	Outliers []int
+}
+
+// NewFig3 analyses bucket sizes from the anonymiser.
+func NewFig3(sizes []int) *Fig3 {
+	f := &Fig3{SizeHist: stats.NewIntHist()}
+	total := 0
+	for i, s := range sizes {
+		f.SizeHist.Add(uint64(s))
+		total += s
+		if s > f.MaxSize {
+			f.MaxSize, f.MaxIdx = s, i
+		}
+	}
+	if len(sizes) > 0 {
+		f.Mean = float64(total) / float64(len(sizes))
+	}
+	for i, s := range sizes {
+		if f.Mean > 0 && float64(s) > 8*f.Mean && s > 16 {
+			f.Outliers = append(f.Outliers, i)
+		}
+	}
+	return f
+}
+
+// CDPeaksKB are the canonical file-size peaks of Figure 8, in KB.
+var CDPeaksKB = []uint64{
+	175 * 1024, 233 * 1024, 350 * 1024, 700 * 1024, 1024 * 1024, 1400 * 1024,
+}
+
+// Fig8Peaks detects size peaks and matches them against the canonical
+// CD-related sizes; it returns the detected peaks and how many canonical
+// peaks were found (tolerance 2 %).
+func Fig8Peaks(h *stats.IntHist) (peaks []stats.Peak, matched int) {
+	peaks = stats.FindPeaks(h, 1.25, 4, 10)
+	for _, want := range CDPeaksKB {
+		for _, p := range peaks {
+			lo := float64(want) * 0.98
+			hi := float64(want) * 1.02
+			if float64(p.V) >= lo && float64(p.V) <= hi {
+				matched++
+				break
+			}
+		}
+	}
+	return peaks, matched
+}
+
+// Render produces the full text report with ASCII plots — the terminal
+// analogue of the paper's figure pages.
+func (f *Figures) Render() string {
+	var b strings.Builder
+	plot := func(title, xlab string, h *stats.IntHist, fit stats.PowerLawFit) {
+		p := stats.NewLogLog(title)
+		p.XLabel = xlab
+		b.WriteString(p.Render(h.Points()))
+		fmt.Fprintf(&b, "  summary: %s\n", h.Summarize())
+		if fit.NTail > 0 {
+			fmt.Fprintf(&b, "  power-law fit: %s\n", fit)
+		}
+		b.WriteString("\n")
+	}
+	plot("Figure 4: clients providing each file", "providers per file", f.Fig4, f.Fit4)
+	plot("Figure 5: clients asking for each file", "askers per file", f.Fig5, f.Fit5)
+	plot("Figure 6: files provided by each client", "files per provider", f.Fig6, f.Fit6)
+	plot("Figure 7: files asked for by each client", "files per asker", f.Fig7, f.Fit7)
+	plot("Figure 8: file size distribution (KB)", "size (KB)", f.Fig8, stats.PowerLawFit{})
+	fmt.Fprintf(&b, "  provide/ask correlation: r=%.3f over %d clients active on both sides\n\n",
+		f.ProvideAskCorr, f.BothActive)
+	peaks, matched := Fig8Peaks(f.Fig8)
+	fmt.Fprintf(&b, "  size peaks detected: %d (canonical CD sizes matched: %d/%d)\n",
+		len(peaks), matched, len(CDPeaksKB))
+	for i, p := range peaks {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "    peak at %d KB (%.0f MB): %d files, prominence %.1fx\n",
+			p.V, float64(p.V)/1024, p.C, p.Prominence)
+	}
+	return b.String()
+}
+
+// WriteCSV renders one histogram as "value,count" lines for external
+// plotting tools (the paper's figures are gnuplot outputs of exactly
+// these series).
+func WriteCSV(h *stats.IntHist, w *strings.Builder) {
+	w.WriteString("value,count\n")
+	for _, p := range h.Points() {
+		fmt.Fprintf(w, "%d,%d\n", p.V, p.C)
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"edtrace/internal/xmlenc"
+)
+
+func TestTemporalBucketsAndGrowth(t *testing.T) {
+	c := NewTemporalCollector(3600)
+	// Hour 0: client 0 offers file 0. Hour 2: client 1 asks files 0,1.
+	c.Write(&xmlenc.Record{T: 100, Client: 0, Op: "OfferFiles", Dir: xmlenc.DirQuery,
+		Files: []xmlenc.FileInfo{{ID: 0}}})
+	c.Write(&xmlenc.Record{T: 7300, Client: 1, Op: "GetSources", Dir: xmlenc.DirQuery,
+		FileRefs: []uint32{0, 1}})
+	c.Write(&xmlenc.Record{T: 7400, Client: 1, Op: "StatReq", Dir: xmlenc.DirQuery})
+
+	buckets := c.Buckets()
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Messages != 1 || buckets[0].NewClients != 1 || buckets[0].NewFiles != 1 {
+		t.Fatalf("bucket 0: %+v", buckets[0])
+	}
+	if buckets[2].Messages != 2 || buckets[2].NewClients != 1 || buckets[2].NewFiles != 1 {
+		t.Fatalf("bucket 2: %+v", buckets[2])
+	}
+	clients, files := c.Growth()
+	if clients[2] != 2 || files[2] != 2 {
+		t.Fatalf("growth: clients=%v files=%v", clients, files)
+	}
+	// Growth curves are monotone.
+	for i := 1; i < len(clients); i++ {
+		if clients[i] < clients[i-1] || files[i] < files[i-1] {
+			t.Fatal("growth not monotone")
+		}
+	}
+}
+
+func TestTemporalDiurnalProfile(t *testing.T) {
+	c := NewTemporalCollector(3600)
+	// Two messages at 9am on two consecutive days, one at 3am.
+	for day := 0; day < 2; day++ {
+		c.Write(&xmlenc.Record{T: float64(day*86400 + 9*3600 + 10), Client: 0, Op: "StatReq"})
+	}
+	c.Write(&xmlenc.Record{T: 3*3600 + 5, Client: 0, Op: "StatReq"})
+	prof := c.DiurnalProfile()
+	if prof[9] != 2 || prof[3] != 1 {
+		t.Fatalf("profile: 9h=%f 3h=%f", prof[9], prof[3])
+	}
+}
+
+func TestTemporalRender(t *testing.T) {
+	c := NewTemporalCollector(0) // defaults to hourly
+	c.Write(&xmlenc.Record{T: 10, Client: 0, Op: "StatReq"})
+	out := c.RenderTemporal()
+	if !strings.Contains(out, "time evolution") || !strings.Contains(out, "cumulative") {
+		t.Fatalf("render: %s", out)
+	}
+}

@@ -1,0 +1,20 @@
+package anonymize
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+)
+
+// HashString anonymises a search string, filename or server description
+// with its md5 hex digest, as §2.4 prescribes: "Search strings, filenames,
+// and server descriptions are encoded by their md5 hash code, which
+// provides satisfying anonymisation while keeping a coherent dataset"
+// (equal strings stay equal after anonymisation).
+func HashString(s string) string {
+	sum := md5.Sum([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// SizeToKB reduces a byte-precise file size to kilobytes, the precision
+// reduction §2.4 applies to file sizes.
+func SizeToKB(bytes uint64) uint64 { return bytes / 1024 }

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/netsim"
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+const testServerIP = 0x0A000001
+
+// frameFor wraps an eDonkey payload in ethernet/IP/UDP towards (or from)
+// the server.
+func frameFor(src, dst uint32, payload []byte) []byte {
+	dg := netsim.EncodeUDP(src, dst, 4672, 4665, payload)
+	pkt := netsim.EncodeIPv4(netsim.IPv4Header{
+		ID: 1, Protocol: netsim.ProtoUDP, Src: src, Dst: dst,
+	}, dg)
+	return netsim.EncodeEthernet(src, dst, pkt)
+}
+
+type memSink struct{ recs []*xmlenc.Record }
+
+func (m *memSink) Write(r *xmlenc.Record) error {
+	m.recs = append(m.recs, r)
+	return nil
+}
+
+func TestPipelineQueryAndAnswerRecords(t *testing.T) {
+	sink := &memSink{}
+	p := NewPipeline(testServerIP, [2]int{5, 11}, sink)
+
+	var fid ed2k.FileID
+	fid[5] = 7
+	query := &ed2k.GetSources{Hashes: []ed2k.FileID{fid}}
+	if err := p.ProcessFrame(simtime.Second, frameFor(0x01020304, testServerIP, ed2k.Encode(query))); err != nil {
+		t.Fatal(err)
+	}
+	answer := &ed2k.FoundSources{Hash: fid, Sources: []ed2k.Endpoint{{ID: 0x01020304, Port: 4662}, {ID: 555, Port: 4662}}}
+	if err := p.ProcessFrame(2*simtime.Second, frameFor(testServerIP, 0x01020304, ed2k.Encode(answer))); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sink.recs) != 2 {
+		t.Fatalf("records: %d", len(sink.recs))
+	}
+	q, a := sink.recs[0], sink.recs[1]
+	if q.Dir != xmlenc.DirQuery || q.Op != "GetSources" || q.T != 1.0 {
+		t.Fatalf("query record: %+v", q)
+	}
+	if a.Dir != xmlenc.DirAnswer || a.Op != "FoundSources" {
+		t.Fatalf("answer record: %+v", a)
+	}
+	// Same client IP on both sides gets the same anonymised id 0.
+	if q.Client != 0 || a.Client != 0 {
+		t.Fatalf("client anonymisation: q=%d a=%d", q.Client, a.Client)
+	}
+	// The fileID was first seen in the query: anon id 0 in both records.
+	if q.FileRefs[0] != 0 || a.FileRefs[0] != 0 {
+		t.Fatalf("file anonymisation: q=%v a=%v", q.FileRefs, a.FileRefs)
+	}
+	// Sources: 0x01020304 already anonymised as 0, 555 becomes 1.
+	if a.Sources[0] != 0 || a.Sources[1] != 1 {
+		t.Fatalf("sources: %v", a.Sources)
+	}
+	st := p.Stats()
+	if st.Queries != 1 || st.Answers != 1 || st.DecodedOK != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPipelineAnonymisesOffers(t *testing.T) {
+	sink := &memSink{}
+	p := NewPipeline(testServerIP, [2]int{5, 11}, sink)
+	offer := &ed2k.OfferFiles{Client: 99, Port: 4662, Files: []ed2k.FileEntry{{
+		ID: ed2k.FileID{1, 2, 3},
+		Tags: []ed2k.Tag{
+			ed2k.StringTag(ed2k.FTFileName, "secret song.mp3"),
+			ed2k.UintTag(ed2k.FTFileSize, 5*1024*1024),
+			ed2k.StringTag(ed2k.FTFileType, "Audio"),
+		},
+	}}}
+	if err := p.ProcessFrame(0, frameFor(0x05060708, testServerIP, ed2k.Encode(offer))); err != nil {
+		t.Fatal(err)
+	}
+	rec := sink.recs[0]
+	f := rec.Files[0]
+	if f.SizeKB != 5*1024 {
+		t.Fatalf("size not truncated to KB: %d", f.SizeKB)
+	}
+	if f.NameHash == "" || f.NameHash == "secret song.mp3" || len(f.NameHash) != 32 {
+		t.Fatalf("name not hashed: %q", f.NameHash)
+	}
+	if f.TypeHash == "" || f.TypeHash == "Audio" {
+		t.Fatalf("type not hashed: %q", f.TypeHash)
+	}
+}
+
+func TestPipelineSearchConstraints(t *testing.T) {
+	sink := &memSink{}
+	p := NewPipeline(testServerIP, [2]int{5, 11}, sink)
+	expr := ed2k.And(ed2k.Keyword("mozart"),
+		ed2k.And(ed2k.SizeAtLeast(10*1024*1024), ed2k.SizeAtMost(700*1024*1024)))
+	p.ProcessFrame(0, frameFor(1, testServerIP, ed2k.Encode(&ed2k.SearchReq{Expr: expr})))
+	rec := sink.recs[0]
+	if len(rec.Keywords) != 1 || len(rec.Keywords[0]) != 32 {
+		t.Fatalf("keywords: %v", rec.Keywords)
+	}
+	if rec.MinKB != 10*1024 || rec.MaxKB != 700*1024 {
+		t.Fatalf("constraints: min=%d max=%d", rec.MinKB, rec.MaxKB)
+	}
+}
+
+func TestPipelineCountsFailures(t *testing.T) {
+	p := NewPipeline(testServerIP, [2]int{5, 11}, DiscardSink{})
+	// Structural garbage.
+	p.ProcessFrame(0, frameFor(1, testServerIP, []byte{0xAA, 0xBB}))
+	// Semantic garbage: offer claiming 2^32-1 files.
+	bad := []byte{ed2k.ProtoEDonkey, ed2k.OpOfferFiles, 0, 0, 0, 0, 0x36, 0x12, 0xFF, 0xFF, 0xFF, 0xFF}
+	p.ProcessFrame(0, frameFor(1, testServerIP, bad))
+	// Valid message.
+	p.ProcessFrame(0, frameFor(1, testServerIP, ed2k.Encode(&ed2k.StatReq{Challenge: 1})))
+
+	st := p.Stats()
+	if st.FailStruct != 1 || st.FailSemantic != 1 || st.DecodedOK != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if r := st.UndecodedRate(); r < 0.66 || r > 0.67 {
+		t.Fatalf("undecoded rate: %f", r)
+	}
+	if s := st.StructuralShare(); s != 0.5 {
+		t.Fatalf("structural share: %f", s)
+	}
+}
+
+func TestPipelineIgnoresThirdPartyAndNonUDP(t *testing.T) {
+	sink := &memSink{}
+	p := NewPipeline(testServerIP, [2]int{5, 11}, sink)
+	// Traffic between two clients (not involving the server).
+	p.ProcessFrame(0, frameFor(1, 2, ed2k.Encode(&ed2k.StatReq{Challenge: 1})))
+	if len(sink.recs) != 0 {
+		t.Fatal("third-party dialog recorded")
+	}
+	// Non-IPv4 ethernet and non-UDP IP.
+	junk := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x86, 0xDD, 1, 2, 3}
+	p.ProcessFrame(0, junk)
+	tcp := netsim.EncodeIPv4(netsim.IPv4Header{Protocol: 6, Src: 1, Dst: testServerIP}, []byte("x"))
+	p.ProcessFrame(0, netsim.EncodeEthernet(1, testServerIP, tcp))
+	st := p.Stats()
+	if st.EthMalformed != 1 {
+		t.Fatalf("eth malformed: %d", st.EthMalformed)
+	}
+	if st.UDPDatagrams != 1 { // only the first stat req made it to UDP
+		t.Fatalf("udp datagrams: %d", st.UDPDatagrams)
+	}
+}
+
+func TestPipelineReassemblesFragments(t *testing.T) {
+	sink := &memSink{}
+	p := NewPipeline(testServerIP, [2]int{5, 11}, sink)
+	// A large offer that fragments at MTU 600.
+	offer := &ed2k.OfferFiles{Client: 1, Port: 1}
+	for i := 0; i < 20; i++ {
+		offer.Files = append(offer.Files, ed2k.FileEntry{
+			ID:   ed2k.FileID{byte(i)},
+			Tags: []ed2k.Tag{ed2k.StringTag(ed2k.FTFileName, "some very long filename here.mp3")},
+		})
+	}
+	dg := netsim.EncodeUDP(7, testServerIP, 4672, 4665, ed2k.Encode(offer))
+	h := netsim.IPv4Header{ID: 42, Protocol: netsim.ProtoUDP, Src: 7, Dst: testServerIP}
+	frags := netsim.FragmentIPv4(h, dg, 600)
+	if len(frags) < 2 {
+		t.Fatal("test setup: no fragmentation")
+	}
+	for _, pkt := range frags {
+		p.ProcessFrame(0, netsim.EncodeEthernet(7, testServerIP, pkt))
+	}
+	st := p.Stats()
+	if st.Reassembled != 1 || st.Fragments != uint64(len(frags)) {
+		t.Fatalf("fragments=%d reassembled=%d", st.Fragments, st.Reassembled)
+	}
+	if len(sink.recs) != 1 || len(sink.recs[0].Files) != 20 {
+		t.Fatalf("reassembled offer lost: %d records", len(sink.recs))
+	}
+}
+
+func TestProcessDatagramLiveMode(t *testing.T) {
+	// The live-capture entry point: raw UDP payloads without the
+	// ethernet/IP layers, as a socket delivers them.
+	sink := &memSink{}
+	p := NewPipeline(testServerIP, [2]int{5, 11}, sink)
+	q := ed2k.Encode(&ed2k.StatReq{Challenge: 3})
+	if err := p.ProcessDatagram(simtime.Second, 0x09090909, testServerIP, q); err != nil {
+		t.Fatal(err)
+	}
+	a := ed2k.Encode(&ed2k.StatRes{Challenge: 3, Users: 5, Files: 6})
+	if err := p.ProcessDatagram(2*simtime.Second, testServerIP, 0x09090909, a); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) != 2 {
+		t.Fatalf("records: %d", len(sink.recs))
+	}
+	if sink.recs[0].Dir != xmlenc.DirQuery || sink.recs[1].Dir != xmlenc.DirAnswer {
+		t.Fatal("directions wrong in datagram mode")
+	}
+	st := p.Stats()
+	if st.UDPDatagrams != 2 || st.Frames != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestQuickPipelineNeverPanicsOnGarbage(t *testing.T) {
+	// Failure injection: arbitrary byte soup, truncated frames, and
+	// random mutations of valid frames must be counted, never crash the
+	// capture. Ten weeks of hostile clients is the operating regime.
+	p := NewPipeline(testServerIP, [2]int{5, 11}, DiscardSink{})
+	valid := frameFor(0x01020304, testServerIP, ed2k.Encode(&ed2k.StatReq{Challenge: 1}))
+	f := func(raw []byte, mutPos uint16, mutVal byte) bool {
+		p.ProcessFrame(0, raw)
+		mutated := append([]byte(nil), valid...)
+		mutated[int(mutPos)%len(mutated)] ^= mutVal | 1
+		p.ProcessFrame(0, mutated)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	st := p.Stats()
+	if st.Frames == 0 {
+		t.Fatal("fuzz fed nothing")
+	}
+}
+
+func tinySimConfig() SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.Workload.NumClients = 400
+	cfg.Workload.NumFiles = 4000
+	cfg.Workload.VocabWords = 300
+	cfg.Traffic.Duration = 4 * simtime.Hour
+	cfg.Traffic.FlashCrowds = 1
+	return cfg
+}
+
+func TestSimWorldEndToEnd(t *testing.T) {
+	cfg := tinySimConfig()
+	sink := &memSink{}
+	cfg.Sink = sink
+	w, err := NewSimWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pipeline.Records == 0 {
+		t.Fatal("no records produced")
+	}
+	if rep.Pipeline.Queries == 0 || rep.Pipeline.Answers == 0 {
+		t.Fatalf("both directions must appear: %+v", rep.Pipeline)
+	}
+	if rep.DistinctClients == 0 || rep.DistinctFiles == 0 {
+		t.Fatalf("anonymiser counters empty: %+v", rep)
+	}
+	if rep.EthernetCaptured == 0 {
+		t.Fatal("tap saw nothing")
+	}
+	// Timestamps are rebased and non-decreasing.
+	last := -1.0
+	for _, r := range sink.recs {
+		if r.T < last {
+			t.Fatalf("timestamps not monotone: %f after %f", r.T, last)
+		}
+		last = r.T
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+	// The swarm's decodable messages must appear as records (minus
+	// capture losses and processing cutoffs, so >= 80%).
+	sent := rep.SwarmStats.MessagesSent
+	if rep.Pipeline.Queries < sent*8/10 {
+		t.Fatalf("queries %d << sent %d", rep.Pipeline.Queries, sent)
+	}
+}
+
+func TestSimWorldDeterminism(t *testing.T) {
+	run := func() *Report {
+		cfg := tinySimConfig()
+		cfg.Workload.NumClients = 150
+		cfg.Traffic.Duration = 2 * simtime.Hour
+		w, err := NewSimWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Pipeline != b.Pipeline {
+		t.Fatalf("pipeline stats differ:\n%+v\n%+v", a.Pipeline, b.Pipeline)
+	}
+	if a.DistinctClients != b.DistinctClients || a.DistinctFiles != b.DistinctFiles {
+		t.Fatal("anonymiser counters differ")
+	}
+	if a.EthernetCaptured != b.EthernetCaptured || a.EthernetDropped != b.EthernetDropped {
+		t.Fatal("capture counters differ")
+	}
+}
+
+func TestSimWorldCaptureLossUnderPressure(t *testing.T) {
+	cfg := tinySimConfig()
+	cfg.Workload.NumClients = 800
+	cfg.Traffic.FlashCrowds = 3
+	cfg.Traffic.FlashParticipants = 0.8
+	cfg.Traffic.FlashDuration = 20 * simtime.Second
+	// Strangle the capture machine so bursts overflow the buffer.
+	cfg.KernelBufferBytes = 2 << 10
+	cfg.ServicePerPoll = 1
+	cfg.PollInterval = 50 * simtime.Millisecond
+	w, err := NewSimWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EthernetDropped == 0 {
+		t.Fatal("no capture losses despite pressure")
+	}
+	// Losses must be recorded in the per-second series too.
+	var seriesDrops uint64
+	for _, s := range rep.LossPerSecond {
+		seriesDrops += s.Dropped
+	}
+	if seriesDrops != rep.EthernetDropped {
+		t.Fatalf("series drops %d != total %d", seriesDrops, rep.EthernetDropped)
+	}
+}

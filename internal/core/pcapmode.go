@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"edtrace/internal/pcap"
+	"edtrace/internal/simtime"
+)
+
+// PcapTee mirrors captured frames into a pcap file while the simulation
+// runs, enabling the capture-now-decode-later workflow the paper's
+// capture machine used for backlog absorption. Attach it as an extra tap.
+type PcapTee struct {
+	w *pcap.Writer
+}
+
+// NewPcapTee wraps a pcap writer as a netsim tap.
+func NewPcapTee(w *pcap.Writer) *PcapTee { return &PcapTee{w: w} }
+
+// Frame implements netsim.Tap.
+func (t *PcapTee) Frame(now simtime.Time, frame []byte) {
+	_ = t.w.Write(pcap.Record{
+		TimeSec:   uint32(now / simtime.Second),
+		TimeMicro: uint32((now % simtime.Second) / simtime.Microsecond),
+		OrigLen:   uint32(len(frame)),
+		Data:      frame,
+	})
+}
+
+// RunFromPcap replays a stored pcap capture through a fresh pipeline:
+// offline decoding of a finished capture, identical code path to live
+// processing. It returns the pipeline for stats and anonymiser access.
+func RunFromPcap(path string, serverIP uint32, fileBytePair [2]int, sink RecordSink) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPipeline(serverIP, fileBytePair, sink)
+	var lastExpire simtime.Time
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		now := simtime.Time(rec.TimeSec)*simtime.Second +
+			simtime.Time(rec.TimeMicro)*simtime.Microsecond
+		if err := p.ProcessFrame(now, rec.Data); err != nil {
+			return nil, err
+		}
+		if now-lastExpire > simtime.Minute {
+			p.ExpireReassembly(now)
+			lastExpire = now
+		}
+	}
+	return p, nil
+}
+
+// WritePcap attaches a pcap tee to a simulation's capture path: every
+// mirrored frame (before any kernel-buffer loss) is appended to the file
+// at path, like a second capture machine with an unbounded buffer.
+// Call the returned close function after Run to flush the file.
+func (w *SimWorld) WritePcap(path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pw, err := pcap.NewWriter(f, 0)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tee := NewPcapTee(pw)
+	w.uplink.AttachTap(multiTap{pcap.Tap{Buf: w.buf}, tee})
+	w.dnlink.AttachTap(multiTap{pcap.Tap{Buf: w.buf}, tee})
+	return func() error {
+		if err := pw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// multiTap fans frames out to several taps.
+type multiTap []interface {
+	Frame(simtime.Time, []byte)
+}
+
+// Frame implements netsim.Tap.
+func (m multiTap) Frame(now simtime.Time, frame []byte) {
+	for _, t := range m {
+		t.Frame(now, frame)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestPcapReplayMatchesLive runs a capture with a pcap tee and no buffer
+// losses, replays the file offline, and requires the exact same records
+// and anonymisation outcome — the capture-now-decode-later equivalence.
+func TestPcapReplayMatchesLive(t *testing.T) {
+	cfg := tinySimConfig()
+	cfg.Workload.NumClients = 200
+	cfg.Traffic.Duration = 2 * 3600 * 1e9 // 2 virtual hours
+	cfg.KernelBufferBytes = 64 << 20      // no losses
+	cfg.ServicePerPoll = 1 << 20
+
+	live := &memSink{}
+	cfg.Sink = live
+	w, err := NewSimWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.pcap")
+	closePcap, err := w.WritePcap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRep, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closePcap(); err != nil {
+		t.Fatal(err)
+	}
+	if liveRep.EthernetDropped != 0 {
+		t.Fatalf("test premise broken: %d drops", liveRep.EthernetDropped)
+	}
+
+	replay := &memSink{}
+	pipe, err := RunFromPcap(path, cfg.ServerIP, cfg.FileBytePair, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(replay.recs) != len(live.recs) {
+		t.Fatalf("replay %d records, live %d", len(replay.recs), len(live.recs))
+	}
+	for i := range live.recs {
+		if !reflect.DeepEqual(replay.recs[i], live.recs[i]) {
+			t.Fatalf("record %d differs:\nlive   %+v\nreplay %+v",
+				i, live.recs[i], replay.recs[i])
+		}
+	}
+	if pipe.ClientAnonymizer().Count() != liveRep.DistinctClients {
+		t.Fatal("client anonymisation diverged")
+	}
+	if pipe.FileAnonymizer().Count() != liveRep.DistinctFiles {
+		t.Fatal("file anonymisation diverged")
+	}
+	st := pipe.Stats()
+	if st.Fragments != liveRep.Pipeline.Fragments || st.FailStruct != liveRep.Pipeline.FailStruct {
+		t.Fatalf("stats diverged:\nlive   %+v\nreplay %+v", liveRep.Pipeline, st)
+	}
+}
+
+func TestRunFromPcapErrors(t *testing.T) {
+	if _, err := RunFromPcap("/nonexistent.pcap", 1, [2]int{5, 11}, DiscardSink{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := writeFile(bad, []byte("definitely not a pcap file")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFromPcap(bad, 1, [2]int{5, 11}, DiscardSink{}); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

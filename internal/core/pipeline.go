@@ -1,0 +1,186 @@
+// Package core implements the paper's measurement infrastructure — the
+// three-step procedure of its Figure 1:
+//
+//  1. capture: raw ethernet frames are mirrored into a bounded kernel
+//     buffer (internal/pcap), with overflow losses counted per second;
+//  2. reconstruction and decoding: frames are parsed at IP level, UDP
+//     datagrams reassembled from fragments, and eDonkey messages decoded
+//     in two phases (structural validation, then effective decoding);
+//  3. anonymisation and formatting: clientIDs and fileIDs are replaced by
+//     order-of-appearance integers, strings by md5 digests, sizes
+//     truncated to KB, timestamps rebased, and the result streamed to the
+//     XML dataset.
+//
+// The same Pipeline runs in three modes: inside the discrete-event
+// simulation (SimWorld), over a pcap file, or on a live UDP socket.
+package core
+
+import (
+	"errors"
+
+	"edtrace/internal/anonymize"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/netsim"
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+// RecordSink consumes anonymised records. dataset.Writer satisfies it;
+// analysis collectors do too.
+type RecordSink interface {
+	Write(*xmlenc.Record) error
+}
+
+// DiscardSink drops records (for capture-only benchmarks).
+type DiscardSink struct{}
+
+// Write implements RecordSink.
+func (DiscardSink) Write(*xmlenc.Record) error { return nil }
+
+// PipelineStats counts every stage's outcomes; the headline table of
+// EXPERIMENTS.md is printed from this struct.
+type PipelineStats struct {
+	Frames       uint64 // ethernet frames processed
+	EthMalformed uint64 // frames that were not IPv4
+	IPMalformed  uint64 // IP packets failing header checks
+	UDPDatagrams uint64 // complete datagrams after reassembly
+	UDPMalformed uint64 // datagrams failing UDP checks
+	Fragments    uint64 // fragment packets seen
+	Reassembled  uint64 // datagrams rebuilt from fragments
+	EDMessages   uint64 // eDonkey messages offered to the decoder
+	DecodedOK    uint64
+	FailStruct   uint64 // failed structural validation
+	FailSemantic uint64 // passed validation, failed decoding
+	Records      uint64 // anonymised records emitted
+	Queries      uint64
+	Answers      uint64
+}
+
+// UndecodedRate returns the fraction of eDonkey messages not decoded —
+// the paper reports 0.68 %.
+func (s *PipelineStats) UndecodedRate() float64 {
+	if s.EDMessages == 0 {
+		return 0
+	}
+	return float64(s.FailStruct+s.FailSemantic) / float64(s.EDMessages)
+}
+
+// StructuralShare returns the structurally-incorrect share of decode
+// failures — the paper reports 78 %.
+func (s *PipelineStats) StructuralShare() float64 {
+	bad := s.FailStruct + s.FailSemantic
+	if bad == 0 {
+		return 0
+	}
+	return float64(s.FailStruct) / float64(bad)
+}
+
+// Pipeline decodes, anonymises and stores captured frames.
+type Pipeline struct {
+	// ServerIP classifies direction: traffic towards it is a query.
+	ServerIP uint32
+
+	clients *anonymize.ClientDirect
+	files   *anonymize.FileBuckets
+	reasm   *netsim.Reassembler
+	sink    RecordSink
+	stats   PipelineStats
+}
+
+// NewPipeline builds a pipeline writing anonymised records to sink.
+// fileBytePair selects the fileID anonymisation bucket bytes (Fig 3).
+func NewPipeline(serverIP uint32, fileBytePair [2]int, sink RecordSink) *Pipeline {
+	return &Pipeline{
+		ServerIP: serverIP,
+		clients:  anonymize.NewClientDirect(),
+		files:    anonymize.NewFileBuckets(fileBytePair[0], fileBytePair[1]),
+		reasm:    netsim.NewReassembler(),
+		sink:     sink,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (p *Pipeline) Stats() PipelineStats {
+	s := p.stats
+	s.Fragments = p.reasm.Fragments
+	s.Reassembled = p.reasm.Reassembled
+	return s
+}
+
+// ClientAnonymizer exposes the clientID structure (for reports).
+func (p *Pipeline) ClientAnonymizer() *anonymize.ClientDirect { return p.clients }
+
+// FileAnonymizer exposes the fileID buckets (for Fig 3).
+func (p *Pipeline) FileAnonymizer() *anonymize.FileBuckets { return p.files }
+
+// ExpireReassembly ages out incomplete fragment groups.
+func (p *Pipeline) ExpireReassembly(now simtime.Time) { p.reasm.Expire(now) }
+
+// ProcessFrame runs one captured ethernet frame through the full
+// pipeline. Errors from the sink abort processing and are returned;
+// malformed traffic is counted, not returned.
+func (p *Pipeline) ProcessFrame(now simtime.Time, frame []byte) error {
+	p.stats.Frames++
+	ip, err := netsim.DecodeEthernet(frame)
+	if err != nil {
+		p.stats.EthMalformed++
+		return nil
+	}
+	hdr, payload, err := netsim.DecodeIPv4(ip)
+	if err != nil {
+		p.stats.IPMalformed++
+		return nil
+	}
+	if hdr.Protocol != netsim.ProtoUDP {
+		return nil // the paper's analysis covers UDP only (§2.2)
+	}
+	dg, ok := p.reasm.Push(now, hdr, payload)
+	if !ok {
+		return nil // waiting for more fragments
+	}
+	_, udpPayload, err := netsim.DecodeUDP(hdr.Src, hdr.Dst, dg)
+	if err != nil {
+		p.stats.UDPMalformed++
+		return nil
+	}
+	p.stats.UDPDatagrams++
+	return p.processMessage(now, hdr.Src, hdr.Dst, udpPayload)
+}
+
+// ProcessDatagram feeds one already-extracted UDP payload through the
+// decode/anonymise/store stages. Live capture uses this entry point: a
+// UDP socket yields datagrams, not ethernet frames.
+func (p *Pipeline) ProcessDatagram(now simtime.Time, src, dst uint32, payload []byte) error {
+	p.stats.UDPDatagrams++
+	return p.processMessage(now, src, dst, payload)
+}
+
+// processMessage decodes one eDonkey payload and emits a record.
+func (p *Pipeline) processMessage(now simtime.Time, src, dst uint32, raw []byte) error {
+	p.stats.EDMessages++
+	msg, err := ed2k.Decode(raw)
+	if err != nil {
+		switch {
+		case errors.Is(err, ed2k.ErrStructural):
+			p.stats.FailStruct++
+		case errors.Is(err, ed2k.ErrSemantic):
+			p.stats.FailSemantic++
+		default:
+			p.stats.FailStruct++
+		}
+		return nil
+	}
+	p.stats.DecodedOK++
+
+	rec := p.transform(now, src, dst, msg)
+	if rec == nil {
+		return nil
+	}
+	p.stats.Records++
+	if rec.Dir == xmlenc.DirQuery {
+		p.stats.Queries++
+	} else {
+		p.stats.Answers++
+	}
+	return p.sink.Write(rec)
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edtrace/internal/clients"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/netsim"
+	"edtrace/internal/pcap"
+	"edtrace/internal/randx"
+	"edtrace/internal/server"
+	"edtrace/internal/simtime"
+	"edtrace/internal/workload"
+)
+
+// SimConfig assembles a full virtual capture: world, network, capture
+// machine and pipeline.
+type SimConfig struct {
+	Workload workload.Config
+	Traffic  clients.TrafficConfig
+
+	// ServerIP and ServerPort locate the captured server.
+	ServerIP   uint32
+	ServerPort uint16
+
+	// MTU for fragmentation (1500 default).
+	MTU int
+	// LinkBitsPerSec is the access link bandwidth (0 = infinite).
+	LinkBitsPerSec float64
+
+	// KernelBufferBytes bounds the capture buffer; with ServicePerPoll
+	// and PollInterval it controls Fig 2's losses.
+	KernelBufferBytes int
+	// PollInterval is how often the capture machine drains the buffer.
+	PollInterval simtime.Time
+	// ServicePerPoll is the maximum frames decoded per poll — the
+	// capture machine's service rate.
+	ServicePerPoll int
+
+	// FrameMangleRate corrupts a tiny fraction of frames on the wire,
+	// producing the "not well-formed" packets of §2.3.
+	FrameMangleRate float64
+
+	// FileBytePair selects the fileID anonymisation bucket bytes.
+	FileBytePair [2]int
+
+	// Sink receives the anonymised records (DiscardSink if nil).
+	Sink RecordSink
+}
+
+// DefaultSimConfig returns a laptop-scale capture configuration
+// (one virtual week, ~15 k clients) with the paper's mechanisms enabled.
+func DefaultSimConfig() SimConfig {
+	wl := workload.DefaultConfig()
+	wl.NumClients = 15_000
+	wl.NumFiles = 80_000
+	tc := clients.DefaultTraffic()
+	return SimConfig{
+		Workload:          wl,
+		Traffic:           tc,
+		ServerIP:          0xC0A80001, // 192.168.0.1
+		ServerPort:        4665,
+		MTU:               1500,
+		LinkBitsPerSec:    100e6,
+		KernelBufferBytes: 256 << 10,
+		PollInterval:      50 * simtime.Millisecond,
+		ServicePerPoll:    300, // 6000 frames/s service rate
+		FrameMangleRate:   2e-6,
+		FileBytePair:      [2]int{5, 11},
+	}
+}
+
+// Report aggregates everything a capture run produces.
+type Report struct {
+	// VirtualDuration is the simulated capture length.
+	VirtualDuration simtime.Time
+	// WallClock is how long the simulation took for real.
+	WallClock time.Duration
+
+	// Capture layer (Fig 2).
+	EthernetCaptured uint64
+	EthernetDropped  uint64
+	LossPerSecond    []pcap.SecondStats
+
+	// Pipeline layer (headline table).
+	Pipeline PipelineStats
+
+	// Anonymisation layer (Fig 3 and §2.5 counters).
+	DistinctClients uint32
+	DistinctFiles   uint32
+	BucketSizes     []int
+	MaxBucketIdx    int
+	MaxBucketSize   int
+
+	// World layer.
+	ServerStats server.Stats
+	SwarmStats  clients.Stats
+	FlashTimes  []simtime.Time
+}
+
+// String prints the report in the shape of the paper's headline numbers.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"capture: %v virtual in %v wall\n"+
+			"ethernet: %d captured, %d lost\n"+
+			"udp: %d datagrams (%d fragments, %d reassembled, %d malformed)\n"+
+			"edonkey: %d messages, %.4f%% undecoded (%.0f%% structurally incorrect)\n"+
+			"distinct: %d clients, %d fileIDs\n"+
+			"records: %d (%d queries, %d answers)",
+		r.VirtualDuration, r.WallClock.Round(time.Millisecond),
+		r.EthernetCaptured, r.EthernetDropped,
+		r.Pipeline.UDPDatagrams, r.Pipeline.Fragments, r.Pipeline.Reassembled, r.Pipeline.UDPMalformed,
+		r.Pipeline.EDMessages, 100*r.Pipeline.UndecodedRate(), 100*r.Pipeline.StructuralShare(),
+		r.DistinctClients, r.DistinctFiles,
+		r.Pipeline.Records, r.Pipeline.Queries, r.Pipeline.Answers)
+}
+
+// SimWorld is the assembled virtual testbed.
+type SimWorld struct {
+	cfg    SimConfig
+	sched  *simtime.Scheduler
+	srv    *server.Server
+	swarm  *clients.Swarm
+	buf    *pcap.KernelBuffer
+	pipe   *Pipeline
+	uplink *netsim.Link
+	dnlink *netsim.Link
+}
+
+// NewSimWorld builds the testbed: catalog, population, server, links with
+// a capture tap on both directions, kernel buffer, and pipeline.
+func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
+	if cfg.MTU == 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 20 * simtime.Millisecond
+	}
+	if cfg.ServicePerPoll <= 0 {
+		cfg.ServicePerPoll = 120
+	}
+	if cfg.KernelBufferBytes <= 0 {
+		cfg.KernelBufferBytes = 256 << 10
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = DiscardSink{}
+	}
+	cat, err := workload.Generate(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := workload.GeneratePopulation(cfg.Workload, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &SimWorld{cfg: cfg, sched: simtime.NewScheduler()}
+	w.srv = server.New("edtrace-sim", "simulated eDonkey server (ten weeks reproduction)")
+	w.buf = pcap.NewKernelBuffer(cfg.KernelBufferBytes)
+	w.pipe = NewPipeline(cfg.ServerIP, cfg.FileBytePair, cfg.Sink)
+
+	w.uplink = netsim.NewLink(w.sched, cfg.LinkBitsPerSec, 5*simtime.Millisecond)
+	w.dnlink = netsim.NewLink(w.sched, cfg.LinkBitsPerSec, 5*simtime.Millisecond)
+	tap := pcap.Tap{Buf: w.buf}
+	w.uplink.AttachTap(tap)
+	w.dnlink.AttachTap(tap)
+
+	mangle := randx.New(cfg.Workload.Seed, 0xDEAD10CC)
+	var upID, downID uint16
+
+	// Server side: deliver uplink frames, decode, answer on the downlink.
+	srvReasm := netsim.NewReassembler()
+	w.uplink.Deliver = func(now simtime.Time, frame []byte) {
+		ip, err := netsim.DecodeEthernet(frame)
+		if err != nil {
+			return
+		}
+		hdr, payload, err := netsim.DecodeIPv4(ip)
+		if err != nil || hdr.Protocol != netsim.ProtoUDP {
+			return
+		}
+		dg, ok := srvReasm.Push(now, hdr, payload)
+		if !ok {
+			return
+		}
+		udp, body, err := netsim.DecodeUDP(hdr.Src, hdr.Dst, dg)
+		if err != nil {
+			return
+		}
+		msg, err := ed2k.Decode(body)
+		if err != nil {
+			return // the real server also drops garbage silently
+		}
+		for _, ans := range w.srv.Handle(now, ed2k.ClientID(hdr.Src), udp.SrcPort, msg) {
+			downID++
+			w.dnlink.SendUDP(cfg.ServerIP, hdr.Src, cfg.ServerPort, udp.SrcPort,
+				downID, ed2k.Encode(ans), cfg.MTU)
+		}
+	}
+
+	// Client side: the swarm feeds the uplink; rare wire mangling breaks
+	// a checksum so the capture sees "not well-formed" packets.
+	send := func(srcIP uint32, srcPort uint16, payload []byte) {
+		upID++
+		dgID := upID
+		if cfg.FrameMangleRate > 0 && mangle.Bool(cfg.FrameMangleRate) {
+			dg := netsim.EncodeUDP(srcIP, cfg.ServerIP, srcPort, cfg.ServerPort, payload)
+			dg[len(dg)-1] ^= 0xA5 // breaks the UDP checksum
+			h := netsim.IPv4Header{ID: dgID, Protocol: netsim.ProtoUDP, Src: srcIP, Dst: cfg.ServerIP}
+			for _, pkt := range netsim.FragmentIPv4(h, dg, cfg.MTU) {
+				w.uplink.Send(netsim.EncodeEthernet(srcIP, cfg.ServerIP, pkt))
+			}
+			return
+		}
+		w.uplink.SendUDP(srcIP, cfg.ServerIP, srcPort, cfg.ServerPort, dgID, payload, cfg.MTU)
+	}
+	w.swarm, err = clients.NewSwarm(cfg.Workload, cfg.Traffic, cat, pop, w.sched, send)
+	if err != nil {
+		return nil, err
+	}
+
+	// Capture machine: drain the kernel buffer at the service rate and
+	// push frames through the pipeline; expire stale reassemblies once a
+	// virtual minute.
+	w.sched.Every(cfg.PollInterval, func(now simtime.Time) {
+		for _, rec := range w.buf.Consume(cfg.ServicePerPoll) {
+			t := simtime.Time(rec.TimeSec)*simtime.Second +
+				simtime.Time(rec.TimeMicro)*simtime.Microsecond
+			if err := w.pipe.ProcessFrame(t, rec.Data); err != nil {
+				panic(fmt.Sprintf("core: sink failed: %v", err))
+			}
+		}
+	})
+	w.sched.Every(simtime.Minute, func(now simtime.Time) {
+		w.pipe.ExpireReassembly(now)
+		srvReasm.Expire(now)
+	})
+
+	return w, nil
+}
+
+// Pipeline exposes the capture pipeline (for Fig 3 bucket inspection).
+func (w *SimWorld) Pipeline() *Pipeline { return w.pipe }
+
+// Scheduler exposes the virtual clock (tests drive partial runs).
+func (w *SimWorld) Scheduler() *simtime.Scheduler { return w.sched }
+
+// Run schedules the swarm and executes the whole capture, returning the
+// report. Extra drain time after the traffic horizon lets the capture
+// machine empty its backlog.
+func (w *SimWorld) Run() (*Report, error) {
+	start := time.Now()
+	w.swarm.Schedule()
+	horizon := w.cfg.Traffic.Duration + 30*simtime.Second
+	w.sched.RunUntil(horizon)
+
+	rep := &Report{
+		VirtualDuration:  w.cfg.Traffic.Duration,
+		WallClock:        time.Since(start),
+		EthernetCaptured: w.buf.Captured(),
+		EthernetDropped:  w.buf.Dropped(),
+		LossPerSecond:    w.buf.PerSecond(),
+		Pipeline:         w.pipe.Stats(),
+		DistinctClients:  w.pipe.ClientAnonymizer().Count(),
+		DistinctFiles:    w.pipe.FileAnonymizer().Count(),
+		BucketSizes:      w.pipe.FileAnonymizer().BucketSizes(),
+		ServerStats:      w.srv.Stats(),
+		SwarmStats:       w.swarm.Stats(),
+		FlashTimes:       w.swarm.FlashWindows(),
+	}
+	rep.MaxBucketIdx, rep.MaxBucketSize = w.pipe.FileAnonymizer().MaxBucket()
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"edtrace/internal/anonymize"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+// transform applies §2.4's anonymisation to one decoded message and
+// shapes it into a dataset record. The record's Client is the anonymised
+// IP of the peer side of the dialog: the source for queries, the
+// destination for answers. eDonkey-level clientIDs inside answers
+// (sources) run through the same clientID table, so low-ID numbers and
+// IPs share one consistent anonymised space, like the paper's dataset.
+func (p *Pipeline) transform(now simtime.Time, src, dst uint32, msg ed2k.Message) *xmlenc.Record {
+	rec := &xmlenc.Record{
+		T:  now.Seconds(),
+		Op: ed2k.OpcodeName(msg.Opcode()),
+	}
+	if dst == p.ServerIP {
+		rec.Dir = xmlenc.DirQuery
+		rec.Client = p.clients.Anonymize(src)
+	} else if src == p.ServerIP {
+		rec.Dir = xmlenc.DirAnswer
+		rec.Client = p.clients.Anonymize(dst)
+	} else {
+		return nil // stray traffic between third parties: not our dialog
+	}
+
+	switch m := msg.(type) {
+	case *ed2k.OfferFiles:
+		rec.Files = p.fileInfos(m.Files)
+	case *ed2k.OfferAck:
+		rec.Accepted = m.Accepted
+	case *ed2k.SearchReq:
+		p.encodeSearch(rec, m.Expr)
+	case *ed2k.SearchRes:
+		rec.Files = p.fileInfos(m.Results)
+	case *ed2k.GetSources:
+		for _, h := range m.Hashes {
+			rec.FileRefs = append(rec.FileRefs, p.files.Anonymize(h))
+		}
+	case *ed2k.FoundSources:
+		rec.FileRefs = append(rec.FileRefs, p.files.Anonymize(m.Hash))
+		for _, s := range m.Sources {
+			rec.Sources = append(rec.Sources, p.clients.Anonymize(uint32(s.ID)))
+		}
+	case *ed2k.StatRes:
+		rec.Users = m.Users
+		rec.FilesCount = m.Files
+	case *ed2k.ServerList:
+		rec.Accepted = uint32(len(m.Servers)) // addresses withheld
+	case *ed2k.ServerDescRes:
+		rec.Keywords = []string{
+			anonymize.HashString(m.Name),
+			anonymize.HashString(m.Desc),
+		}
+	case *ed2k.StatReq, ed2k.GetServerList, ed2k.ServerDescReq:
+		// Header-only records.
+	}
+	return rec
+}
+
+// fileInfos anonymises a batch of file entries.
+func (p *Pipeline) fileInfos(entries []ed2k.FileEntry) []xmlenc.FileInfo {
+	out := make([]xmlenc.FileInfo, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		fi := xmlenc.FileInfo{ID: p.files.Anonymize(e.ID)}
+		if name, ok := e.Name(); ok {
+			fi.NameHash = anonymize.HashString(name)
+		}
+		if size, ok := e.Size(); ok {
+			fi.SizeKB = anonymize.SizeToKB(uint64(size))
+		}
+		if typ, ok := e.Type(); ok {
+			fi.TypeHash = anonymize.HashString(typ)
+		}
+		out = append(out, fi)
+	}
+	return out
+}
+
+// encodeSearch hashes every keyword and keeps size constraints (in KB).
+func (p *Pipeline) encodeSearch(rec *xmlenc.Record, e *ed2k.SearchExpr) {
+	for _, kw := range e.Keywords(nil) {
+		rec.Keywords = append(rec.Keywords, anonymize.HashString(kw))
+	}
+	var walk func(*ed2k.SearchExpr)
+	walk = func(n *ed2k.SearchExpr) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case ed2k.KindMetaNum:
+			if n.Meta == ed2k.MetaNameSize {
+				kb := anonymize.SizeToKB(uint64(n.Value))
+				if n.NumOp == ed2k.NumericMax {
+					rec.MaxKB = kb
+				} else {
+					rec.MinKB = kb
+				}
+			}
+		case ed2k.KindAnd, ed2k.KindOr, ed2k.KindNot:
+			walk(n.Left)
+			walk(n.Right)
+		}
+	}
+	walk(e)
+}

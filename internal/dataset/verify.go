@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"fmt"
+
+	"edtrace/internal/xmlenc"
+)
+
+// VerifyReport summarises a dataset-invariant check (the guarantees the
+// spec in internal/xmlenc/spec.md makes to consumers).
+type VerifyReport struct {
+	Records     uint64
+	Violations  []string
+	MaxClientID uint32
+	MaxFileID   uint32
+}
+
+// OK reports whether no invariant was violated.
+func (v *VerifyReport) OK() bool { return len(v.Violations) == 0 }
+
+// knownOps is the closed set of record kinds (spec.md).
+var knownOps = map[string]bool{
+	"OfferFiles": true, "OfferAck": true, "SearchReq": true, "SearchRes": true,
+	"GetSources": true, "FoundSources": true, "StatReq": true, "StatRes": true,
+	"GetServerList": true, "ServerList": true, "ServerDescReq": true,
+	"ServerDescRes": true,
+}
+
+const maxViolations = 20
+
+// Verify streams the dataset at dir and checks every released-data
+// invariant: monotone timestamps, known ops, dense anonymised IDs
+// consistent with the manifest counters, hex-only hashes, KB sizes.
+func Verify(dir string) (*VerifyReport, error) {
+	man, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{}
+	add := func(format string, args ...any) {
+		if len(rep.Violations) < maxViolations {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	lastT := -1.0
+	seenClients := make(map[uint32]bool)
+	seenFiles := make(map[uint32]bool)
+	noteClient := func(c uint32) {
+		seenClients[c] = true
+		if c > rep.MaxClientID {
+			rep.MaxClientID = c
+		}
+	}
+	noteFile := func(f uint32) {
+		seenFiles[f] = true
+		if f > rep.MaxFileID {
+			rep.MaxFileID = f
+		}
+	}
+	err = ForEach(dir, func(r *xmlenc.Record) error {
+		rep.Records++
+		if r.T < lastT {
+			add("record %d: timestamp %f before %f", rep.Records, r.T, lastT)
+		}
+		lastT = r.T
+		if !knownOps[r.Op] {
+			add("record %d: unknown op %q", rep.Records, r.Op)
+		}
+		noteClient(r.Client)
+		for _, f := range r.FileRefs {
+			noteFile(f)
+		}
+		for _, s := range r.Sources {
+			noteClient(s)
+		}
+		for i := range r.Files {
+			noteFile(r.Files[i].ID)
+			if !hexOnly(r.Files[i].NameHash) || !hexOnly(r.Files[i].TypeHash) {
+				add("record %d: non-hex hash", rep.Records)
+			}
+		}
+		for _, k := range r.Keywords {
+			if !hexOnly(k) {
+				add("record %d: non-hex keyword hash %q", rep.Records, k)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Records != man.Records {
+		add("manifest claims %d records, read %d", man.Records, rep.Records)
+	}
+	// Density: anonymised IDs must be exactly 0..N-1.
+	if man.DistinctClients > 0 {
+		if uint32(len(seenClients)) != man.DistinctClients {
+			add("manifest claims %d clients, dataset references %d",
+				man.DistinctClients, len(seenClients))
+		}
+		if rep.MaxClientID != man.DistinctClients-1 {
+			add("max clientID %d, want %d (dense order-of-appearance)",
+				rep.MaxClientID, man.DistinctClients-1)
+		}
+	}
+	if man.DistinctFiles > 0 {
+		if uint32(len(seenFiles)) != man.DistinctFiles {
+			add("manifest claims %d files, dataset references %d",
+				man.DistinctFiles, len(seenFiles))
+		}
+		if rep.MaxFileID != man.DistinctFiles-1 {
+			add("max fileID %d, want %d (dense order-of-appearance)",
+				rep.MaxFileID, man.DistinctFiles-1)
+		}
+	}
+	return rep, nil
+}
+
+func hexOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,270 @@
+package ed2k
+
+// This file implements the two-phase decoder described in §2.3 of the
+// paper: "a structural validation of messages (based on their expected
+// length, for example), then, if successful, an attempt at effective
+// decoding."
+
+// ValidateStructure performs the cheap first phase on a raw UDP payload.
+// It checks the protocol marker, that the opcode is known, and that the
+// payload length is plausible for the opcode (minimum lengths, exact
+// lengths for fixed-size messages, divisibility for arrays of fixed-size
+// records). It never inspects variable-length interior structure; that is
+// the decode phase's job.
+func ValidateStructure(raw []byte) error {
+	if len(raw) < 2 {
+		return structuralf("datagram of %d bytes", len(raw))
+	}
+	if raw[0] != ProtoEDonkey {
+		return structuralf("bad protocol marker 0x%02X", raw[0])
+	}
+	op := raw[1]
+	n := len(raw) - 2
+	switch op {
+	case OpGetServerList, OpServerDescReq:
+		if n != 0 {
+			return structuralf("%s with %d payload bytes", OpcodeName(op), n)
+		}
+	case OpServerList:
+		if n < 1 || (n-1)%6 != 0 {
+			return structuralf("ServerList payload %d not 1+6k", n)
+		}
+	case OpOfferFiles:
+		// clientID + port + count = 10 bytes minimum.
+		if n < 10 {
+			return structuralf("OfferFiles payload %d < 10", n)
+		}
+	case OpOfferAck:
+		if n != 4 {
+			return structuralf("OfferAck payload %d != 4", n)
+		}
+	case OpGlobSearchReq:
+		if n < 2 {
+			return structuralf("SearchReq payload %d < 2", n)
+		}
+	case OpGlobSearchRes:
+		if n < 4 {
+			return structuralf("SearchRes payload %d < 4", n)
+		}
+	case OpGlobGetSources:
+		if n < 16 || n%16 != 0 || n/16 > MaxHashesPer {
+			return structuralf("GetSources payload %d not k*16 in range", n)
+		}
+	case OpGlobFoundSrcs:
+		if n < 17 || (n-17)%6 != 0 {
+			return structuralf("FoundSources payload %d not 17+6k", n)
+		}
+	case OpGlobStatReq:
+		if n != 4 {
+			return structuralf("StatReq payload %d != 4", n)
+		}
+	case OpGlobStatRes:
+		if n != 12 {
+			return structuralf("StatRes payload %d != 12", n)
+		}
+	case OpServerDescRes:
+		if n < 4 {
+			return structuralf("ServerDescRes payload %d < 4", n)
+		}
+	default:
+		return structuralf("unknown opcode 0x%02X", op)
+	}
+	return nil
+}
+
+// Decode runs both phases and returns the decoded message.
+// Errors satisfy errors.Is with ErrStructural or ErrSemantic so callers
+// can reproduce the paper's failure-class accounting.
+func Decode(raw []byte) (Message, error) {
+	if err := ValidateStructure(raw); err != nil {
+		return nil, err
+	}
+	op := raw[1]
+	r := &buffer{b: raw[2:]}
+	var (
+		m   Message
+		err error
+	)
+	switch op {
+	case OpGetServerList:
+		m = GetServerList{}
+	case OpServerList:
+		m, err = decodeServerList(r)
+	case OpOfferFiles:
+		m, err = decodeOfferFiles(r)
+	case OpOfferAck:
+		var v uint32
+		v, err = r.u32()
+		m = &OfferAck{Accepted: v}
+	case OpGlobSearchReq:
+		m, err = decodeSearchReq(r)
+	case OpGlobSearchRes:
+		m, err = decodeSearchRes(r)
+	case OpGlobGetSources:
+		m, err = decodeGetSources(r)
+	case OpGlobFoundSrcs:
+		m, err = decodeFoundSources(r)
+	case OpGlobStatReq:
+		var v uint32
+		v, err = r.u32()
+		m = &StatReq{Challenge: v}
+	case OpGlobStatRes:
+		m, err = decodeStatRes(r)
+	case OpServerDescReq:
+		m = ServerDescReq{}
+	case OpServerDescRes:
+		m, err = decodeServerDescRes(r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, semanticf("%d trailing bytes after %s", r.remaining(), OpcodeName(op))
+	}
+	return m, nil
+}
+
+func decodeServerList(r *buffer) (Message, error) {
+	count, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &ServerList{Servers: make([]ServerAddr, 0, count)}
+	for i := 0; i < int(count); i++ {
+		ip, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		port, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Servers = append(m.Servers, ServerAddr{IP: ip, Port: port})
+	}
+	return m, nil
+}
+
+func decodeOfferFiles(r *buffer) (Message, error) {
+	cid, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	port, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count > MaxFilesPerMsg {
+		return nil, semanticf("OfferFiles claims %d files", count)
+	}
+	m := &OfferFiles{Client: ClientID(cid), Port: port, Files: make([]FileEntry, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		e, err := readFileEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Files = append(m.Files, e)
+	}
+	return m, nil
+}
+
+func decodeSearchReq(r *buffer) (Message, error) {
+	depth, nodes := 0, 0
+	expr, err := readExpr(r, &depth, &nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchReq{Expr: expr}, nil
+}
+
+func decodeSearchRes(r *buffer) (Message, error) {
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count > MaxFilesPerMsg {
+		return nil, semanticf("SearchRes claims %d results", count)
+	}
+	m := &SearchRes{Results: make([]FileEntry, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		e, err := readFileEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Results = append(m.Results, e)
+	}
+	return m, nil
+}
+
+func decodeGetSources(r *buffer) (Message, error) {
+	m := &GetSources{}
+	for r.remaining() > 0 {
+		h, err := r.fileID()
+		if err != nil {
+			return nil, err
+		}
+		m.Hashes = append(m.Hashes, h)
+	}
+	return m, nil
+}
+
+func decodeFoundSources(r *buffer) (Message, error) {
+	h, err := r.fileID()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	// Structure guaranteed (n-17)%6 == 0 but not that the count field
+	// agrees with the actual record count: that is a semantic check.
+	if r.remaining() != int(count)*6 {
+		return nil, semanticf("FoundSources count %d disagrees with %d bytes",
+			count, r.remaining())
+	}
+	m := &FoundSources{Hash: h, Sources: make([]Endpoint, 0, count)}
+	for i := 0; i < int(count); i++ {
+		ip, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		port, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Sources = append(m.Sources, Endpoint{ID: ClientID(ip), Port: port})
+	}
+	return m, nil
+}
+
+func decodeStatRes(r *buffer) (Message, error) {
+	ch, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	users, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	files, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return &StatRes{Challenge: ch, Users: users, Files: files}, nil
+}
+
+func decodeServerDescRes(r *buffer) (Message, error) {
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	desc, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	return &ServerDescRes{Name: name, Desc: desc}, nil
+}

@@ -1,0 +1,198 @@
+package ed2k
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"io"
+)
+
+// TCP-side framing. The eDonkey TCP session carries a stream of frames:
+//
+//	[proto u8][length u32 LE][opcode u8][payload]
+//
+// where length covers opcode + payload. The paper captured this stream
+// too but analysed UDP only, because packet losses break TCP stream
+// reconstruction (its footnote 2); internal/tcpsim reproduces that
+// finding. The proto byte is 0xE3 for plain frames and 0xD4 for frames
+// whose payload is zlib-compressed ("packed"), an eMule extension many
+// clients used.
+
+// ProtoPacked marks a zlib-compressed frame.
+const ProtoPacked = 0xD4
+
+// TCP-only opcodes.
+const (
+	OpLoginRequest = 0x01 // client hash, ID, port, nick
+	OpIDChange     = 0x40 // server-assigned clientID
+)
+
+// LoginRequest opens a TCP session: the client identifies itself.
+type LoginRequest struct {
+	Hash   FileID // the client's user hash (md4-sized)
+	Client ClientID
+	Port   uint16
+	Nick   string
+}
+
+// Opcode implements Message.
+func (*LoginRequest) Opcode() byte { return OpLoginRequest }
+
+func (m *LoginRequest) appendPayload(b []byte) []byte {
+	b = append(b, m.Hash[:]...)
+	b = appendU32(b, uint32(m.Client))
+	b = appendU16(b, m.Port)
+	return appendStr(b, m.Nick)
+}
+
+// IDChange is the server's answer to a login: the assigned clientID.
+type IDChange struct {
+	Client ClientID
+}
+
+// Opcode implements Message.
+func (*IDChange) Opcode() byte { return OpIDChange }
+
+func (m *IDChange) appendPayload(b []byte) []byte {
+	return appendU32(b, uint32(m.Client))
+}
+
+func decodeLoginRequest(r *buffer) (Message, error) {
+	h, err := r.fileID()
+	if err != nil {
+		return nil, err
+	}
+	cid, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	port, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	nick, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	return &LoginRequest{Hash: h, Client: ClientID(cid), Port: port, Nick: nick}, nil
+}
+
+func decodeIDChange(r *buffer) (Message, error) {
+	cid, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return &IDChange{Client: ClientID(cid)}, nil
+}
+
+// tcpOpcodeKnown extends the opcode set with TCP-only messages.
+func tcpOpcodeKnown(op byte) bool {
+	return KnownOpcode(op) || op == OpLoginRequest || op == OpIDChange
+}
+
+// FrameTCP serialises a message as one TCP stream frame.
+func FrameTCP(m Message) []byte {
+	payload := m.appendPayload(nil)
+	out := make([]byte, 0, 6+len(payload))
+	out = append(out, ProtoEDonkey)
+	out = binary.LittleEndian.AppendUint32(out, uint32(1+len(payload)))
+	out = append(out, m.Opcode())
+	return append(out, payload...)
+}
+
+// FrameTCPPacked serialises a message as a packed (zlib) frame.
+func FrameTCPPacked(m Message) []byte {
+	payload := m.appendPayload(nil)
+	var z bytes.Buffer
+	zw := zlib.NewWriter(&z)
+	zw.Write(payload)
+	zw.Close()
+	out := make([]byte, 0, 6+z.Len())
+	out = append(out, ProtoPacked)
+	out = binary.LittleEndian.AppendUint32(out, uint32(1+z.Len()))
+	out = append(out, m.Opcode())
+	return append(out, z.Bytes()...)
+}
+
+// MaxTCPFrame bounds a frame length; longer claims are structural junk.
+const MaxTCPFrame = 1 << 20
+
+// ParseTCPStream extracts complete frames from the head of stream,
+// returning the decoded messages, the number of bytes consumed, and an
+// error on undecodable frames. Incomplete trailing frames simply stop the
+// scan (consumed marks where to resume once more bytes arrive).
+func ParseTCPStream(stream []byte) (msgs []Message, consumed int, err error) {
+	off := 0
+	for {
+		if len(stream)-off < 6 {
+			return msgs, off, nil
+		}
+		proto := stream[off]
+		if proto != ProtoEDonkey && proto != ProtoPacked {
+			return msgs, off, structuralf("bad TCP frame marker 0x%02X", proto)
+		}
+		length := binary.LittleEndian.Uint32(stream[off+1:])
+		if length == 0 || length > MaxTCPFrame {
+			return msgs, off, structuralf("TCP frame length %d", length)
+		}
+		if len(stream)-off-5 < int(length) {
+			return msgs, off, nil // incomplete frame: wait for more bytes
+		}
+		op := stream[off+5]
+		if !tcpOpcodeKnown(op) {
+			return msgs, off, structuralf("unknown TCP opcode 0x%02X", op)
+		}
+		payload := stream[off+6 : off+5+int(length)]
+		if proto == ProtoPacked {
+			zr, zerr := zlib.NewReader(bytes.NewReader(payload))
+			if zerr != nil {
+				return msgs, off, semanticf("packed frame: %v", zerr)
+			}
+			inflated, zerr := io.ReadAll(io.LimitReader(zr, MaxTCPFrame))
+			zr.Close()
+			if zerr != nil {
+				return msgs, off, semanticf("packed frame inflate: %v", zerr)
+			}
+			payload = inflated
+		}
+		m, derr := decodeTCPBody(op, payload)
+		if derr != nil {
+			return msgs, off, derr
+		}
+		msgs = append(msgs, m)
+		off += 5 + int(length)
+	}
+}
+
+// decodeTCPBody decodes one frame body (already inflated).
+func decodeTCPBody(op byte, payload []byte) (Message, error) {
+	switch op {
+	case OpLoginRequest:
+		r := &buffer{b: payload}
+		m, err := decodeLoginRequest(r)
+		if err != nil {
+			return nil, err
+		}
+		if r.remaining() != 0 {
+			return nil, semanticf("%d trailing bytes after LoginRequest", r.remaining())
+		}
+		return m, nil
+	case OpIDChange:
+		r := &buffer{b: payload}
+		m, err := decodeIDChange(r)
+		if err != nil {
+			return nil, err
+		}
+		if r.remaining() != 0 {
+			return nil, semanticf("%d trailing bytes after IDChange", r.remaining())
+		}
+		return m, nil
+	default:
+		// Shared opcodes reuse the UDP decoder by re-wrapping the body
+		// as a datagram.
+		raw := make([]byte, 0, 2+len(payload))
+		raw = append(raw, ProtoEDonkey, op)
+		raw = append(raw, payload...)
+		return Decode(raw)
+	}
+}

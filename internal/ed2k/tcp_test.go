@@ -1,0 +1,157 @@
+package ed2k
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameTCPRoundtrip(t *testing.T) {
+	msgs := []Message{
+		&LoginRequest{Hash: FileID{1, 2}, Client: 77, Port: 4662, Nick: "reader"},
+		&IDChange{Client: 0x00ABCDEF},
+		&OfferFiles{Client: 7, Port: 4662, Files: []FileEntry{sampleEntry(4)}},
+		&SearchReq{Expr: Keyword("bach")},
+		&StatReq{Challenge: 9},
+	}
+	var stream []byte
+	for _, m := range msgs {
+		stream = append(stream, FrameTCP(m)...)
+	}
+	got, consumed, err := ParseTCPStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(stream) {
+		t.Fatalf("consumed %d of %d", consumed, len(stream))
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("parsed %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !reflect.DeepEqual(normalize(got[i]), normalize(msgs[i])) {
+			t.Errorf("message %d:\n got %#v\nwant %#v", i, got[i], msgs[i])
+		}
+	}
+}
+
+func TestFrameTCPPackedRoundtrip(t *testing.T) {
+	m := &OfferFiles{Client: 9, Port: 1, Files: []FileEntry{sampleEntry(1), sampleEntry(2)}}
+	packed := FrameTCPPacked(m)
+	plain := FrameTCP(m)
+	if len(packed) >= len(plain)+32 {
+		t.Fatalf("packing grew the frame unreasonably: %d vs %d", len(packed), len(plain))
+	}
+	got, consumed, err := ParseTCPStream(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(packed) || len(got) != 1 {
+		t.Fatalf("consumed=%d msgs=%d", consumed, len(got))
+	}
+	if !reflect.DeepEqual(normalize(got[0]), normalize(Message(m))) {
+		t.Fatalf("packed roundtrip: %#v", got[0])
+	}
+}
+
+func TestParseTCPStreamIncremental(t *testing.T) {
+	m1 := FrameTCP(&StatReq{Challenge: 1})
+	m2 := FrameTCP(&StatReq{Challenge: 2})
+	stream := append(append([]byte(nil), m1...), m2...)
+	// Cut mid-second-frame: first parses, consumed points at its start.
+	cut := len(m1) + 3
+	msgs, consumed, err := ParseTCPStream(stream[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || consumed != len(m1) {
+		t.Fatalf("partial: msgs=%d consumed=%d", len(msgs), consumed)
+	}
+	// Resume from consumed with the full tail.
+	msgs, consumed, err = ParseTCPStream(stream[consumed:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || consumed != len(m2) {
+		t.Fatalf("resume: msgs=%d consumed=%d", len(msgs), consumed)
+	}
+}
+
+func TestParseTCPStreamErrors(t *testing.T) {
+	badMarker := []byte{0xAA, 1, 0, 0, 0, 0x96}
+	if _, _, err := ParseTCPStream(badMarker); !errors.Is(err, ErrStructural) {
+		t.Fatalf("bad marker: %v", err)
+	}
+	zeroLen := []byte{ProtoEDonkey, 0, 0, 0, 0, 0x96}
+	if _, _, err := ParseTCPStream(zeroLen); !errors.Is(err, ErrStructural) {
+		t.Fatalf("zero length: %v", err)
+	}
+	hugeLen := []byte{ProtoEDonkey, 0xFF, 0xFF, 0xFF, 0x7F, 0x96}
+	if _, _, err := ParseTCPStream(hugeLen); !errors.Is(err, ErrStructural) {
+		t.Fatalf("huge length: %v", err)
+	}
+	badOp := FrameTCP(&StatReq{Challenge: 1})
+	badOp[5] = 0x77
+	if _, _, err := ParseTCPStream(badOp); !errors.Is(err, ErrStructural) {
+		t.Fatalf("bad opcode: %v", err)
+	}
+	// Packed frame with garbage zlib body.
+	garbagePacked := []byte{ProtoPacked, 4, 0, 0, 0, OpGlobStatReq, 1, 2, 3}
+	if _, _, err := ParseTCPStream(garbagePacked); !errors.Is(err, ErrSemantic) {
+		t.Fatalf("garbage packed: %v", err)
+	}
+	// Trailing bytes inside a TCP-only message body.
+	login := FrameTCP(&LoginRequest{Nick: "x"})
+	login = append(login[:len(login)-0], 0xEE)
+	// extend the declared length to cover the junk byte
+	login[1]++
+	if _, _, err := ParseTCPStream(login); !errors.Is(err, ErrSemantic) {
+		t.Fatalf("login trailing: %v", err)
+	}
+}
+
+func TestQuickParseTCPStreamNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		msgs, consumed, err := ParseTCPStream(raw)
+		if consumed < 0 || consumed > len(raw) {
+			return false
+		}
+		if err == nil {
+			return true
+		}
+		_ = msgs
+		return errors.Is(err, ErrStructural) != errors.Is(err, ErrSemantic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFrameStreamRoundtrip(t *testing.T) {
+	f := func(challenges []uint32, packEvery byte) bool {
+		every := int(packEvery)%5 + 1
+		var stream []byte
+		for i, ch := range challenges {
+			m := &StatReq{Challenge: ch}
+			if i%every == 0 {
+				stream = append(stream, FrameTCPPacked(m)...)
+			} else {
+				stream = append(stream, FrameTCP(m)...)
+			}
+		}
+		msgs, consumed, err := ParseTCPStream(stream)
+		if err != nil || consumed != len(stream) || len(msgs) != len(challenges) {
+			return false
+		}
+		for i, m := range msgs {
+			if m.(*StatReq).Challenge != challenges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package md4
+
+import "io"
+
+// ChunkSize is the eDonkey hashing chunk size: files are hashed in
+// 9 728 000-byte (9500 KiB) pieces.
+const ChunkSize = 9728000
+
+// Ed2kHash computes the eDonkey fileID of data.
+//
+// Files no larger than one chunk are hashed directly with MD4. Larger
+// files are split into ChunkSize pieces; each piece is MD4-hashed, and the
+// fileID is the MD4 of the concatenated piece hashes. This matches the
+// historical eDonkey2000 client behaviour for files that are not an exact
+// multiple of the chunk size.
+func Ed2kHash(data []byte) [Size]byte {
+	if len(data) <= ChunkSize {
+		return Sum(data)
+	}
+	outer := New()
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		h := Sum(data[off:end])
+		outer.Write(h[:])
+	}
+	var out [Size]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}
+
+// Ed2kHashReader computes the eDonkey fileID of the contents of r,
+// streaming so arbitrarily large inputs use constant memory. It returns
+// the hash, the number of bytes read, and any read error other than io.EOF.
+func Ed2kHashReader(r io.Reader) ([Size]byte, int64, error) {
+	var (
+		total      int64
+		pieces     [][Size]byte
+		piece      = New()
+		pieceLen   int
+		buf        = make([]byte, 64*1024)
+		flushPiece = func() {
+			var h [Size]byte
+			copy(h[:], piece.Sum(nil))
+			pieces = append(pieces, h)
+			piece.Reset()
+			pieceLen = 0
+		}
+	)
+	for {
+		n, err := r.Read(buf)
+		b := buf[:n]
+		total += int64(n)
+		for len(b) > 0 {
+			// Flush lazily, only when more data actually arrives, so a
+			// file of exactly ChunkSize bytes is hashed directly like
+			// Ed2kHash does.
+			if pieceLen == ChunkSize {
+				flushPiece()
+			}
+			room := ChunkSize - pieceLen
+			take := len(b)
+			if take > room {
+				take = room
+			}
+			piece.Write(b[:take])
+			pieceLen += take
+			b = b[take:]
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return [Size]byte{}, total, err
+		}
+	}
+	if len(pieces) == 0 {
+		// At most one chunk of data: hash directly.
+		var out [Size]byte
+		copy(out[:], piece.Sum(nil))
+		return out, total, nil
+	}
+	flushPiece()
+	outer := New()
+	for _, h := range pieces {
+		outer.Write(h[:])
+	}
+	var out [Size]byte
+	copy(out[:], outer.Sum(nil))
+	return out, total, nil
+}

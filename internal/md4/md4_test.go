@@ -1,0 +1,197 @@
+package md4
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1320 appendix A.5 test vectors.
+var rfcVectors = []struct {
+	in   string
+	want string
+}{
+	{"", "31d6cfe0d16ae931b73c59d7e0c089c0"},
+	{"a", "bde52cb31de33e46245e05fbdbd6fb24"},
+	{"abc", "a448017aaf21d8525fc10ae87aa6729d"},
+	{"message digest", "d9130a8164549fe818874806e1c7014b"},
+	{"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"},
+	{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789", "043f8582f241db351ce627e153e7f0e4"},
+	{"12345678901234567890123456789012345678901234567890123456789012345678901234567890", "e33b4ddc9c38f2199c3e7b164fcc0536"},
+}
+
+func TestRFC1320Vectors(t *testing.T) {
+	for _, v := range rfcVectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("Sum(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestHashInterface(t *testing.T) {
+	h := New()
+	if h.Size() != Size {
+		t.Fatalf("Size() = %d, want %d", h.Size(), Size)
+	}
+	if h.BlockSize() != BlockSize {
+		t.Fatalf("BlockSize() = %d, want %d", h.BlockSize(), BlockSize)
+	}
+	h.Write([]byte("abc"))
+	sum1 := h.Sum(nil)
+	// Sum must not disturb state: calling it twice gives the same answer.
+	sum2 := h.Sum(nil)
+	if !bytes.Equal(sum1, sum2) {
+		t.Fatalf("Sum not idempotent: %x vs %x", sum1, sum2)
+	}
+	// Sum appends to its argument.
+	prefixed := h.Sum([]byte{0xAA})
+	if prefixed[0] != 0xAA || !bytes.Equal(prefixed[1:], sum1) {
+		t.Fatalf("Sum(prefix) = %x, want AA||%x", prefixed, sum1)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	h := New()
+	h.Write([]byte("garbage that should be forgotten"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := Sum([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("after Reset: %x, want %x", got, want)
+	}
+}
+
+func TestIncrementalWriteMatchesOneShot(t *testing.T) {
+	data := make([]byte, 1031) // deliberately not a multiple of the block size
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	want := Sum(data)
+	for _, chunk := range []int{1, 3, 63, 64, 65, 128, 1000} {
+		h := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			h.Write(data[off:end])
+		}
+		if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Errorf("chunk=%d: %x, want %x", chunk, got, want)
+		}
+	}
+}
+
+func TestQuickIncrementalSplit(t *testing.T) {
+	// Property: splitting the input at any point yields the same digest.
+	f := func(data []byte, splitAt uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		cut := int(splitAt) % len(data)
+		h := New()
+		h.Write(data[:cut])
+		h.Write(data[cut:])
+		got := h.Sum(nil)
+		want := Sum(data)
+		return bytes.Equal(got, want[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctInputsDistinctDigests(t *testing.T) {
+	// Not a real collision test (MD4 is broken), but random short inputs
+	// must virtually never collide; a failure here means a plumbing bug
+	// such as ignored input bytes.
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		ha, hb := Sum(a), Sum(b)
+		return ha != hb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthBoundaries(t *testing.T) {
+	// Exercise every padding branch: lengths around the 55/56/64 byte
+	// boundaries where the length field spills into an extra block.
+	for n := 0; n <= 130; n++ {
+		data := bytes.Repeat([]byte{'x'}, n)
+		one := Sum(data)
+		h := New()
+		h.Write(data)
+		if got := h.Sum(nil); !bytes.Equal(got, one[:]) {
+			t.Fatalf("n=%d: incremental %x != one-shot %x", n, got, one)
+		}
+	}
+}
+
+func TestEd2kHashSmallEqualsPlainMD4(t *testing.T) {
+	data := []byte("small file payload")
+	want := Sum(data)
+	if got := Ed2kHash(data); got != want {
+		t.Fatalf("Ed2kHash(small) = %x, want %x", got, want)
+	}
+}
+
+func TestEd2kHashMultiChunk(t *testing.T) {
+	// Two chunks plus a bit: the fileID must be MD4 over the chunk hashes.
+	data := make([]byte, ChunkSize+1234)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	h1 := Sum(data[:ChunkSize])
+	h2 := Sum(data[ChunkSize:])
+	outer := New()
+	outer.Write(h1[:])
+	outer.Write(h2[:])
+	var want [Size]byte
+	copy(want[:], outer.Sum(nil))
+	if got := Ed2kHash(data); got != want {
+		t.Fatalf("Ed2kHash(multi) = %x, want %x", got, want)
+	}
+}
+
+func TestEd2kHashReaderMatchesInMemory(t *testing.T) {
+	sizes := []int{0, 1, 100, ChunkSize - 1, ChunkSize, ChunkSize + 1, 2*ChunkSize + 7}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i % 251)
+		}
+		want := Ed2kHash(data)
+		got, read, err := Ed2kHashReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if read != int64(n) {
+			t.Fatalf("n=%d: read %d bytes", n, read)
+		}
+		if got != want {
+			t.Fatalf("n=%d: reader %x != memory %x", n, got, want)
+		}
+	}
+}
+
+func BenchmarkMD4_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func ExampleSum() {
+	digest := Sum([]byte("abc"))
+	fmt.Printf("%x\n", digest)
+	// Output: a448017aaf21d8525fc10ae87aa6729d
+}

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"sort"
+
+	"edtrace/internal/simtime"
+)
+
+// FragmentIPv4 splits a UDP datagram into IPv4 packets respecting mtu.
+// Fragment payload sizes are multiples of 8 except the last, per RFC 791.
+// A datagram that fits returns a single unfragmented packet.
+func FragmentIPv4(h IPv4Header, payload []byte, mtu int) [][]byte {
+	maxPayload := mtu - IPv4HeaderLen
+	if maxPayload >= len(payload) {
+		h.MoreFrags = false
+		h.FragOff = 0
+		return [][]byte{EncodeIPv4(h, payload)}
+	}
+	chunk := maxPayload &^ 7 // multiple of 8
+	if chunk <= 0 {
+		chunk = 8
+	}
+	var out [][]byte
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		fh := h
+		fh.FragOff = uint16(off / 8)
+		fh.MoreFrags = more
+		out = append(out, EncodeIPv4(fh, payload[off:end]))
+	}
+	return out
+}
+
+// reasmKey identifies an in-progress reassembly per RFC 791.
+type reasmKey struct {
+	src, dst uint32
+	id       uint16
+	proto    uint8
+}
+
+type reasmState struct {
+	frags    map[uint16][]byte // offset (8-byte units) -> payload
+	gotLast  bool
+	lastEnd  int // byte offset one past the final fragment
+	firstAt  simtime.Time
+	received int
+}
+
+// Reassembler rebuilds fragmented IPv4 datagrams. Incomplete reassemblies
+// are dropped after Timeout (virtual time), mirroring kernel behaviour.
+type Reassembler struct {
+	// Timeout after which partial reassemblies are discarded.
+	Timeout simtime.Time
+	// Stats counters.
+	Fragments   uint64 // fragment packets seen
+	Reassembled uint64 // datagrams completed from fragments
+	Expired     uint64 // partial reassemblies dropped
+
+	pending map[reasmKey]*reasmState
+}
+
+// NewReassembler returns a reassembler with a 30-second virtual timeout.
+func NewReassembler() *Reassembler {
+	return &Reassembler{
+		Timeout: 30 * simtime.Second,
+		pending: make(map[reasmKey]*reasmState),
+	}
+}
+
+// Push offers one decoded IPv4 packet. If pkt completes a datagram (or is
+// unfragmented), it returns the full transport payload and true.
+func (r *Reassembler) Push(now simtime.Time, h IPv4Header, payload []byte) ([]byte, bool) {
+	if !h.MoreFrags && h.FragOff == 0 {
+		return payload, true // not fragmented
+	}
+	r.Fragments++
+	key := reasmKey{h.Src, h.Dst, h.ID, h.Protocol}
+	st := r.pending[key]
+	if st == nil {
+		st = &reasmState{frags: make(map[uint16][]byte), firstAt: now}
+		r.pending[key] = st
+	}
+	if _, dup := st.frags[h.FragOff]; !dup {
+		st.frags[h.FragOff] = append([]byte(nil), payload...)
+		st.received += len(payload)
+	}
+	if !h.MoreFrags {
+		st.gotLast = true
+		st.lastEnd = int(h.FragOff)*8 + len(payload)
+	}
+	if st.gotLast && st.received == st.lastEnd {
+		// Verify contiguity before assembling.
+		offsets := make([]int, 0, len(st.frags))
+		for off := range st.frags {
+			offsets = append(offsets, int(off)*8)
+		}
+		sort.Ints(offsets)
+		expect := 0
+		for _, off := range offsets {
+			if off != expect {
+				return nil, false // hole; keep waiting (overlap case)
+			}
+			expect = off + len(st.frags[uint16(off/8)])
+		}
+		if expect != st.lastEnd {
+			return nil, false
+		}
+		full := make([]byte, 0, st.lastEnd)
+		for _, off := range offsets {
+			full = append(full, st.frags[uint16(off/8)]...)
+		}
+		delete(r.pending, key)
+		r.Reassembled++
+		return full, true
+	}
+	return nil, false
+}
+
+// Expire drops reassemblies older than Timeout; callers run it
+// periodically (the pipeline ticks it once per virtual second).
+func (r *Reassembler) Expire(now simtime.Time) {
+	for k, st := range r.pending {
+		if now-st.firstAt > r.Timeout {
+			delete(r.pending, k)
+			r.Expired++
+		}
+	}
+}
+
+// PendingCount reports in-progress reassemblies (for tests and stats).
+func (r *Reassembler) PendingCount() int { return len(r.pending) }

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"edtrace/internal/simtime"
+)
+
+// EthernetHeaderLen is the length of an ethernet II header; the capture
+// records ethernet frames like libpcap does on a wired interface.
+const EthernetHeaderLen = 14
+
+// EtherTypeIPv4 is the ethertype carried in our frames.
+const EtherTypeIPv4 = 0x0800
+
+// EncodeEthernet wraps an IP packet in an ethernet II frame with synthetic
+// locally-administered MAC addresses derived from the IP addresses.
+func EncodeEthernet(src, dst uint32, ipPacket []byte) []byte {
+	f := make([]byte, EthernetHeaderLen+len(ipPacket))
+	macFor(f[0:6], dst)
+	macFor(f[6:12], src)
+	f[12] = EtherTypeIPv4 >> 8
+	f[13] = EtherTypeIPv4 & 0xFF
+	copy(f[EthernetHeaderLen:], ipPacket)
+	return f
+}
+
+func macFor(dst []byte, ip uint32) {
+	dst[0] = 0x02 // locally administered, unicast
+	dst[1] = 0x00
+	dst[2] = byte(ip >> 24)
+	dst[3] = byte(ip >> 16)
+	dst[4] = byte(ip >> 8)
+	dst[5] = byte(ip)
+}
+
+// DecodeEthernet strips the frame header, returning the IP packet.
+func DecodeEthernet(frame []byte) ([]byte, error) {
+	if len(frame) < EthernetHeaderLen {
+		return nil, ErrMalformed
+	}
+	if int(frame[12])<<8|int(frame[13]) != EtherTypeIPv4 {
+		return nil, ErrMalformed
+	}
+	return frame[EthernetHeaderLen:], nil
+}
+
+// Tap receives a copy of every frame crossing a link — the software
+// equivalent of the port mirror feeding the paper's capture machine.
+type Tap interface {
+	Frame(now simtime.Time, frame []byte)
+}
+
+// Link models the server's access link: frames arrive after a serialization
+// delay determined by bandwidth plus fixed propagation latency, in FIFO
+// order. A tap, when attached, sees every frame at its arrival instant.
+type Link struct {
+	sched *simtime.Scheduler
+	// BitsPerSec is the link bandwidth; zero means infinite.
+	BitsPerSec float64
+	// Latency is one-way propagation delay.
+	Latency simtime.Time
+	// Deliver is invoked for every frame reaching the far end.
+	Deliver func(now simtime.Time, frame []byte)
+
+	tap      Tap
+	busyTill simtime.Time
+
+	// Carried counts frames transported; Bytes counts frame bytes.
+	Carried uint64
+	Bytes   uint64
+}
+
+// NewLink returns a link scheduling deliveries on sched.
+func NewLink(sched *simtime.Scheduler, bitsPerSec float64, latency simtime.Time) *Link {
+	return &Link{sched: sched, BitsPerSec: bitsPerSec, Latency: latency}
+}
+
+// AttachTap mirrors all subsequent frames to t.
+func (l *Link) AttachTap(t Tap) { l.tap = t }
+
+// Send queues one frame for transmission. The frame slice must not be
+// mutated afterwards; the link does not copy it.
+func (l *Link) Send(frame []byte) {
+	now := l.sched.Now()
+	start := now
+	if l.busyTill > start {
+		start = l.busyTill // FIFO serialization
+	}
+	var txTime simtime.Time
+	if l.BitsPerSec > 0 {
+		bits := float64(len(frame) * 8)
+		txTime = simtime.Time(bits / l.BitsPerSec * float64(simtime.Second))
+	}
+	done := start + txTime
+	l.busyTill = done
+	arrive := done + l.Latency
+	l.Carried++
+	l.Bytes += uint64(len(frame))
+	l.sched.At(arrive, func() {
+		if l.tap != nil {
+			l.tap.Frame(arrive, frame)
+		}
+		if l.Deliver != nil {
+			l.Deliver(arrive, frame)
+		}
+	})
+}
+
+// SendUDP is a convenience building the full ethernet/IP/UDP stack around
+// an application payload and fragmenting at mtu. ipID disambiguates
+// fragments of different datagrams from the same host.
+func (l *Link) SendUDP(src, dst uint32, srcPort, dstPort uint16, ipID uint16, payload []byte, mtu int) {
+	dg := EncodeUDP(src, dst, srcPort, dstPort, payload)
+	h := IPv4Header{ID: ipID, Protocol: ProtoUDP, Src: src, Dst: dst}
+	for _, pkt := range FragmentIPv4(h, dg, mtu) {
+		l.Send(EncodeEthernet(src, dst, pkt))
+	}
+}

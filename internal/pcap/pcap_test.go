@@ -1,0 +1,240 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"edtrace/internal/simtime"
+)
+
+func TestFileRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{TimeSec: 1, TimeMicro: 500000, Data: []byte("frame one")},
+		{TimeSec: 2, TimeMicro: 0, Data: []byte("frame two, longer")},
+		{TimeSec: 2, TimeMicro: 999999, Data: []byte{}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.TimeSec != want.TimeSec || got.TimeMicro != want.TimeMicro {
+			t.Fatalf("record %d time: %+v", i, got)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		if got.OrigLen != uint32(len(want.Data)) {
+			t.Fatalf("record %d origlen = %d", i, got.OrigLen)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8)
+	long := bytes.Repeat([]byte{0xAB}, 100)
+	if err := w.Write(Record{Data: long}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if r.SnapLen() != 8 {
+		t.Fatalf("snaplen = %d", r.SnapLen())
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 8 {
+		t.Fatalf("caplen = %d, want 8", len(rec.Data))
+	}
+	if rec.OrigLen != 100 {
+		t.Fatalf("origlen = %d, want 100", rec.OrigLen)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("not a pcap file at all, definitely"),
+		bytes.Repeat([]byte{0}, 24),
+	}
+	for i, c := range cases {
+		if _, err := NewReader(bytes.NewReader(c)); !errors.Is(err, ErrBadFile) {
+			t.Errorf("case %d: err = %v, want ErrBadFile", i, err)
+		}
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Write(Record{Data: []byte("abcdef")})
+	w.Flush()
+	data := buf.Bytes()
+	r, _ := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if _, err := r.Next(); !errors.Is(err, ErrBadFile) {
+		t.Fatalf("truncated body: %v", err)
+	}
+}
+
+func TestQuickFileRoundtrip(t *testing.T) {
+	f := func(frames [][]byte) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, 0)
+		for i, fr := range frames {
+			if err := w.Write(Record{TimeSec: uint32(i), Data: fr}); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, fr := range frames {
+			rec, err := r.Next()
+			if err != nil || !bytes.Equal(rec.Data, fr) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelBufferDropsWhenFull(t *testing.T) {
+	k := NewKernelBuffer(100)
+	frame := bytes.Repeat([]byte{1}, 40)
+	if !k.Produce(0, frame) || !k.Produce(0, frame) {
+		t.Fatal("first two frames must fit")
+	}
+	if k.Produce(0, frame) {
+		t.Fatal("third frame must overflow (120 > 100)")
+	}
+	if k.Captured() != 2 || k.Dropped() != 1 {
+		t.Fatalf("captured=%d dropped=%d", k.Captured(), k.Dropped())
+	}
+	// Draining frees budget.
+	got := k.Consume(1)
+	if len(got) != 1 {
+		t.Fatalf("consumed %d", len(got))
+	}
+	if !k.Produce(0, frame) {
+		t.Fatal("frame must fit after drain")
+	}
+}
+
+func TestKernelBufferFIFOAndTimestamps(t *testing.T) {
+	k := NewKernelBuffer(1 << 20)
+	k.Produce(1500*simtime.Millisecond, []byte("a"))
+	k.Produce(2*simtime.Second, []byte("b"))
+	recs := k.Consume(0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if string(recs[0].Data) != "a" || string(recs[1].Data) != "b" {
+		t.Fatal("not FIFO")
+	}
+	if recs[0].TimeSec != 1 || recs[0].TimeMicro != 500000 {
+		t.Fatalf("timestamp: %+v", recs[0])
+	}
+}
+
+func TestKernelBufferPerSecondSeries(t *testing.T) {
+	k := NewKernelBuffer(50)
+	big := bytes.Repeat([]byte{1}, 30)
+	// Second 0: one stored, one dropped.
+	k.Produce(100*simtime.Millisecond, big)
+	k.Produce(200*simtime.Millisecond, big)
+	// Second 2: drain then store.
+	k.Consume(0)
+	k.Produce(2*simtime.Second+simtime.Millisecond, big)
+	s := k.PerSecond()
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	if s[0].Captured != 1 || s[0].Dropped != 1 {
+		t.Fatalf("second 0: %+v", s[0])
+	}
+	if s[1].Captured != 0 || s[1].Dropped != 0 {
+		t.Fatalf("second 1: %+v", s[1])
+	}
+	if s[2].Captured != 1 {
+		t.Fatalf("second 2: %+v", s[2])
+	}
+}
+
+func TestKernelBufferConsumeLimit(t *testing.T) {
+	k := NewKernelBuffer(1 << 20)
+	for i := 0; i < 10; i++ {
+		k.Produce(0, []byte{byte(i)})
+	}
+	if got := k.Consume(3); len(got) != 3 {
+		t.Fatalf("Consume(3) returned %d", len(got))
+	}
+	if k.Len() != 7 {
+		t.Fatalf("Len = %d", k.Len())
+	}
+	if got := k.Consume(0); len(got) != 7 {
+		t.Fatalf("Consume(0) returned %d", len(got))
+	}
+	if k.Consume(5) != nil {
+		t.Fatal("empty buffer must return nil")
+	}
+	if k.Used() != 0 {
+		t.Fatalf("Used = %d after drain", k.Used())
+	}
+}
+
+func TestNewKernelBufferPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernelBuffer(0)
+}
+
+func TestTapAdapterFeedsBuffer(t *testing.T) {
+	k := NewKernelBuffer(1 << 10)
+	tap := Tap{Buf: k}
+	tap.Frame(simtime.Second, []byte("mirrored"))
+	if k.Captured() != 1 {
+		t.Fatal("tap did not feed the buffer")
+	}
+}

@@ -1,0 +1,355 @@
+// Package server implements the eDonkey directory server whose traffic
+// the capture observes — the substrate the paper could not open-source
+// (§2.2: "this source code is not open-source").
+//
+// The server does what §2.1 describes: it "indexes files and users", and
+// answers "searches for files (based on metadata like filename, size or
+// filetype)" and "searches for providers (called sources) of given
+// files". Internally it keeps a file table keyed by fileID with source
+// lists, an inverted keyword index over tokenised filenames for metadata
+// search, and per-opcode statistics. Answer sizes are bounded the way
+// deployed servers bounded them (UDP answers truncate source and result
+// lists).
+package server
+
+import (
+	"strings"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/simtime"
+)
+
+// Limits mirror deployed server behaviour: UDP answers are small.
+const (
+	// MaxSourcesPerAnswer bounds sources in one FoundSources answer.
+	MaxSourcesPerAnswer = 50
+	// MaxSearchResults bounds entries in one SearchRes answer. UDP
+	// answers must fit a datagram comfortably below the MTU — deployed
+	// servers sent very small UDP result lists.
+	MaxSearchResults = 12
+	// MaxCandidates bounds how many index candidates one search scans,
+	// protecting the server from pathological keywords.
+	MaxCandidates = 512
+	// MaxPostingList bounds how many fileIDs one keyword remembers.
+	MaxPostingList = 4096
+)
+
+type source struct {
+	id       ed2k.ClientID
+	port     uint16
+	lastSeen simtime.Time
+}
+
+type indexedFile struct {
+	entry ed2k.FileEntry // metadata from the first announcement
+	// Cached lowered metadata so search evaluation never re-folds case
+	// or re-scans tags per candidate.
+	nameLower string
+	typeLower string
+	size      uint32
+	sources   []source
+}
+
+// Stats counts server activity per opcode plus index gauges.
+type Stats struct {
+	// Received counts handled queries by opcode name.
+	Received map[string]uint64
+	// Answered counts emitted answers by opcode name.
+	Answered map[string]uint64
+	// IndexedFiles and IndexedSources are current table gauges.
+	IndexedFiles   int
+	IndexedSources int
+}
+
+// Server is an in-memory eDonkey directory server.
+type Server struct {
+	// Name and Desc are returned by ServerDescRes.
+	Name string
+	Desc string
+	// SourceTTL expires sources that stopped re-announcing.
+	SourceTTL simtime.Time
+	// KnownServers is returned to GetServerList queries.
+	KnownServers []ed2k.ServerAddr
+
+	files    map[ed2k.FileID]*indexedFile
+	keywords map[string][]ed2k.FileID
+	users    map[ed2k.ClientID]simtime.Time
+	received map[string]uint64
+	answered map[string]uint64
+	sources  int
+}
+
+// New returns an empty server.
+func New(name, desc string) *Server {
+	return &Server{
+		Name:      name,
+		Desc:      desc,
+		SourceTTL: 2 * simtime.Hour,
+		files:     make(map[ed2k.FileID]*indexedFile),
+		keywords:  make(map[string][]ed2k.FileID),
+		users:     make(map[ed2k.ClientID]simtime.Time),
+		received:  make(map[string]uint64),
+		answered:  make(map[string]uint64),
+	}
+}
+
+// Tokenize splits a filename into lowercase keywords the way historical
+// servers did: runs of letters and digits, length >= 2.
+func Tokenize(name string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end-start >= 2 {
+			out = append(out, strings.ToLower(name[start:end]))
+		}
+		start = -1
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		if alnum {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(name))
+	return out
+}
+
+// Handle processes one decoded query at virtual time now, from the given
+// client coordinates, and returns the answers to send (possibly several:
+// GetSources yields one FoundSources per known hash).
+func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg ed2k.Message) []ed2k.Message {
+	op := ed2k.OpcodeName(msg.Opcode())
+	s.received[op]++
+	s.users[from] = now
+
+	var answers []ed2k.Message
+	switch m := msg.(type) {
+	case *ed2k.OfferFiles:
+		answers = append(answers, s.handleOffer(now, from, port, m))
+	case *ed2k.GetSources:
+		answers = append(answers, s.handleGetSources(now, m)...)
+	case *ed2k.SearchReq:
+		answers = append(answers, s.handleSearch(m))
+	case *ed2k.StatReq:
+		answers = append(answers, &ed2k.StatRes{
+			Challenge: m.Challenge,
+			Users:     uint32(len(s.users)),
+			Files:     uint32(len(s.files)),
+		})
+	case ed2k.GetServerList:
+		answers = append(answers, &ed2k.ServerList{Servers: s.KnownServers})
+	case ed2k.ServerDescReq:
+		answers = append(answers, &ed2k.ServerDescRes{Name: s.Name, Desc: s.Desc})
+	default:
+		// Answers arriving at the server (spoofed or looped) are ignored,
+		// like a real server would.
+		return nil
+	}
+	for _, a := range answers {
+		s.answered[ed2k.OpcodeName(a.Opcode())]++
+	}
+	return answers
+}
+
+func (s *Server) handleOffer(now simtime.Time, from ed2k.ClientID, port uint16, m *ed2k.OfferFiles) ed2k.Message {
+	accepted := uint32(0)
+	for i := range m.Files {
+		f := &m.Files[i]
+		idx := s.files[f.ID]
+		if idx == nil {
+			idx = &indexedFile{entry: *f}
+			idx.entry.Client = from
+			idx.entry.Port = port
+			if name, ok := f.Name(); ok {
+				idx.nameLower = strings.ToLower(name)
+			}
+			if typ, ok := f.Type(); ok {
+				idx.typeLower = strings.ToLower(typ)
+			}
+			idx.size, _ = f.Size()
+			s.files[f.ID] = idx
+			if name, ok := f.Name(); ok {
+				for _, kw := range Tokenize(name) {
+					// Bound per-keyword lists: popular keywords stay
+					// useful, pathological ones stop growing.
+					lst := s.keywords[kw]
+					if len(lst) < MaxPostingList {
+						s.keywords[kw] = append(lst, f.ID)
+					}
+				}
+			}
+		}
+		if s.addSource(idx, from, port, now) {
+			s.sources++
+		}
+		accepted++
+	}
+	return &ed2k.OfferAck{Accepted: accepted}
+}
+
+func (s *Server) addSource(idx *indexedFile, id ed2k.ClientID, port uint16, now simtime.Time) bool {
+	for i := range idx.sources {
+		if idx.sources[i].id == id {
+			idx.sources[i].lastSeen = now
+			idx.sources[i].port = port
+			return false
+		}
+	}
+	idx.sources = append(idx.sources, source{id: id, port: port, lastSeen: now})
+	return true
+}
+
+func (s *Server) handleGetSources(now simtime.Time, m *ed2k.GetSources) []ed2k.Message {
+	var out []ed2k.Message
+	for _, h := range m.Hashes {
+		idx := s.files[h]
+		if idx == nil {
+			continue // unknown files are silently unanswered, like real servers
+		}
+		ans := &ed2k.FoundSources{Hash: h}
+		for _, src := range idx.sources {
+			if s.SourceTTL > 0 && now-src.lastSeen > s.SourceTTL {
+				continue
+			}
+			ans.Sources = append(ans.Sources, ed2k.Endpoint{ID: src.id, Port: src.port})
+			if len(ans.Sources) >= MaxSourcesPerAnswer {
+				break
+			}
+		}
+		if len(ans.Sources) > 0 {
+			out = append(out, ans)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSearch(m *ed2k.SearchReq) ed2k.Message {
+	res := &ed2k.SearchRes{}
+	kws := m.Expr.Keywords(nil)
+	lowered := lowerExpr(m.Expr)
+	scanned := 0
+	// Candidates come from a single posting list, whose entries are
+	// unique by construction, so no dedup set is needed.
+	consider := func(id ed2k.FileID) bool {
+		scanned++
+		idx := s.files[id]
+		if idx != nil && evalExpr(lowered, idx) {
+			entry := idx.entry
+			entry.Tags = append(append([]ed2k.Tag(nil), entry.Tags...),
+				ed2k.UintTag(ed2k.FTSources, uint32(len(idx.sources))))
+			res.Results = append(res.Results, entry)
+		}
+		return len(res.Results) < MaxSearchResults && scanned < MaxCandidates
+	}
+	if len(kws) > 0 {
+		// Candidate set: the posting list of the rarest keyword.
+		best := ""
+		for _, kw := range kws {
+			kw = strings.ToLower(kw)
+			lst, ok := s.keywords[kw]
+			if !ok {
+				continue
+			}
+			if best == "" || len(lst) < len(s.keywords[best]) {
+				best = kw
+			}
+		}
+		for _, id := range s.keywords[best] {
+			if !consider(id) {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// lowerExpr clones a search tree with all string operands lowered, so
+// evaluation against the cached lowered index needs no per-candidate
+// case folding. Semantics match ed2k.SearchExpr.Matches for ASCII input
+// (a property-checked invariant in the tests).
+func lowerExpr(e *ed2k.SearchExpr) *ed2k.SearchExpr {
+	if e == nil {
+		return nil
+	}
+	out := *e
+	out.Word = strings.ToLower(e.Word)
+	out.Left = lowerExpr(e.Left)
+	out.Right = lowerExpr(e.Right)
+	return &out
+}
+
+// evalExpr evaluates a lowered search tree against a cached index entry.
+func evalExpr(e *ed2k.SearchExpr, idx *indexedFile) bool {
+	switch e.Kind {
+	case ed2k.KindKeyword:
+		return strings.Contains(idx.nameLower, e.Word)
+	case ed2k.KindMetaStr:
+		return e.Meta == ed2k.MetaNameType && idx.typeLower == e.Word
+	case ed2k.KindMetaNum:
+		var field uint32
+		switch e.Meta {
+		case ed2k.MetaNameSize:
+			field = idx.size
+		case ed2k.MetaNameAvail:
+			field = uint32(len(idx.sources))
+		default:
+			return false
+		}
+		if e.NumOp == ed2k.NumericMax {
+			return field <= e.Value
+		}
+		return field >= e.Value
+	case ed2k.KindAnd:
+		return evalExpr(e.Left, idx) && evalExpr(e.Right, idx)
+	case ed2k.KindOr:
+		return evalExpr(e.Left, idx) || evalExpr(e.Right, idx)
+	case ed2k.KindNot:
+		return evalExpr(e.Left, idx) && !evalExpr(e.Right, idx)
+	}
+	return false
+}
+
+// ExpireSources drops sources not re-announced within the TTL; servers
+// ran this periodically to keep answers fresh.
+func (s *Server) ExpireSources(now simtime.Time) {
+	if s.SourceTTL <= 0 {
+		return
+	}
+	for id, idx := range s.files {
+		kept := idx.sources[:0]
+		for _, src := range idx.sources {
+			if now-src.lastSeen <= s.SourceTTL {
+				kept = append(kept, src)
+			} else {
+				s.sources--
+			}
+		}
+		idx.sources = kept
+		_ = id
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Received:       make(map[string]uint64, len(s.received)),
+		Answered:       make(map[string]uint64, len(s.answered)),
+		IndexedFiles:   len(s.files),
+		IndexedSources: s.sources,
+	}
+	for k, v := range s.received {
+		st.Received[k] = v
+	}
+	for k, v := range s.answered {
+		st.Answered[k] = v
+	}
+	return st
+}
+
+// Users reports the distinct clients seen.
+func (s *Server) Users() int { return len(s.users) }

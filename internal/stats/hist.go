@@ -1,0 +1,211 @@
+// Package stats provides the statistical machinery §3 of the paper uses
+// on its dataset: integer frequency distributions ("for each value x, the
+// number of objects with value x"), logarithmic binning, CCDFs, maximum-
+// likelihood power-law fits with Kolmogorov-Smirnov distances, peak
+// detection for the file-size histogram, and terminal log-log plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IntHist counts occurrences of non-negative integer values. It switches
+// between a dense slice (small values, the common case for counts) and a
+// sparse map for outliers, keeping memory proportional to the support.
+type IntHist struct {
+	dense  []uint64
+	sparse map[uint64]uint64
+	n      uint64
+	max    uint64
+	sum    float64
+}
+
+const denseLimit = 1 << 20
+
+// NewIntHist returns an empty histogram.
+func NewIntHist() *IntHist {
+	return &IntHist{sparse: make(map[uint64]uint64)}
+}
+
+// Add counts one observation of v.
+func (h *IntHist) Add(v uint64) { h.AddN(v, 1) }
+
+// AddN counts k observations of v.
+func (h *IntHist) AddN(v, k uint64) {
+	if v < denseLimit {
+		if int(v) >= len(h.dense) {
+			grow := make([]uint64, v+1+uint64(len(h.dense)/2))
+			copy(grow, h.dense)
+			h.dense = grow
+		}
+		h.dense[v] += k
+	} else {
+		h.sparse[v] += k
+	}
+	h.n += k
+	if v > h.max {
+		h.max = v
+	}
+	h.sum += float64(v) * float64(k)
+}
+
+// N returns the number of observations.
+func (h *IntHist) N() uint64 { return h.n }
+
+// Max returns the largest observed value.
+func (h *IntHist) Max() uint64 { return h.max }
+
+// Mean returns the average observed value.
+func (h *IntHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Count returns the number of observations equal to v.
+func (h *IntHist) Count(v uint64) uint64 {
+	if v < uint64(len(h.dense)) {
+		return h.dense[v]
+	}
+	return h.sparse[v]
+}
+
+// Point is one (value, count) pair of a distribution.
+type Point struct {
+	V uint64
+	C uint64
+}
+
+// Points returns the non-zero (value, count) pairs sorted by value —
+// exactly the series plotted in the paper's Figures 4-8.
+func (h *IntHist) Points() []Point {
+	out := make([]Point, 0, 256)
+	for v, c := range h.dense {
+		if c != 0 {
+			out = append(out, Point{uint64(v), c})
+		}
+	}
+	for v, c := range h.sparse {
+		out = append(out, Point{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// Quantile returns the smallest value v such that at least q (0..1) of
+// the observations are <= v.
+func (h *IntHist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var acc uint64
+	for _, p := range h.Points() {
+		acc += p.C
+		if acc >= target {
+			return p.V
+		}
+	}
+	return h.max
+}
+
+// CCDF returns, for each distinct value v, the fraction of observations
+// >= v, sorted by v ascending.
+func (h *IntHist) CCDF() []struct {
+	V uint64
+	P float64
+} {
+	pts := h.Points()
+	out := make([]struct {
+		V uint64
+		P float64
+	}, len(pts))
+	var tail uint64
+	for i := len(pts) - 1; i >= 0; i-- {
+		tail += pts[i].C
+		out[i].V = pts[i].V
+		out[i].P = float64(tail) / float64(h.n)
+	}
+	return out
+}
+
+// LogBin is one logarithmic bin [Lo, Hi) with its density.
+type LogBin struct {
+	Lo, Hi  uint64
+	Count   uint64
+	Density float64 // count / bin width
+}
+
+// LogBins aggregates the distribution into bins whose edges grow by
+// factor (e.g. 2 for octaves); standard practice for reading power laws
+// out of noisy tails.
+func (h *IntHist) LogBins(factor float64) []LogBin {
+	if factor <= 1 {
+		panic("stats: log bin factor must exceed 1")
+	}
+	var bins []LogBin
+	lo := uint64(1)
+	for lo <= h.max {
+		fhi := float64(lo) * factor
+		hi := uint64(math.Ceil(fhi))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		bins = append(bins, LogBin{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	idx := 0
+	for _, p := range h.Points() {
+		if p.V == 0 {
+			continue
+		}
+		for idx < len(bins) && p.V >= bins[idx].Hi {
+			idx++
+		}
+		if idx < len(bins) {
+			bins[idx].Count += p.C
+		}
+	}
+	out := bins[:0]
+	for _, b := range bins {
+		if b.Count > 0 {
+			b.Density = float64(b.Count) / float64(b.Hi-b.Lo)
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Summary is a compact description of a distribution.
+type Summary struct {
+	N      uint64
+	Mean   float64
+	Median uint64
+	P90    uint64
+	P99    uint64
+	Max    uint64
+}
+
+// Summarize computes the summary.
+func (h *IntHist) Summarize() Summary {
+	return Summary{
+		N:      h.n,
+		Mean:   h.Mean(),
+		Median: h.Quantile(0.5),
+		P90:    h.Quantile(0.9),
+		P99:    h.Quantile(0.99),
+		Max:    h.max,
+	}
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%d p90=%d p99=%d max=%d",
+		s.N, s.Mean, s.Median, s.P90, s.P99, s.Max)
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"edtrace/internal/randx"
+)
+
+func TestIntHistBasics(t *testing.T) {
+	h := NewIntHist()
+	for _, v := range []uint64{1, 1, 2, 5, 5, 5, 1000000000} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != 1000000000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Count(5) != 3 || h.Count(1) != 2 || h.Count(999) != 0 {
+		t.Fatal("Count wrong")
+	}
+	if h.Count(1000000000) != 1 {
+		t.Fatal("sparse Count wrong")
+	}
+	wantMean := float64(1+1+2+5+5+5+1000000000) / 7
+	if math.Abs(h.Mean()-wantMean) > 1e-6 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	pts := h.Points()
+	if len(pts) != 4 {
+		t.Fatalf("Points = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V <= pts[i-1].V {
+			t.Fatal("Points not sorted")
+		}
+	}
+}
+
+func TestIntHistAddN(t *testing.T) {
+	h := NewIntHist()
+	h.AddN(3, 100)
+	if h.N() != 100 || h.Count(3) != 100 {
+		t.Fatal("AddN broken")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	h := NewIntHist()
+	for v := uint64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("median = %d", q)
+	}
+	if q := h.Quantile(0.99); q != 99 {
+		t.Fatalf("p99 = %d", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %d", q)
+	}
+	empty := NewIntHist()
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	h := NewIntHist()
+	r := randx.New(1, 1)
+	for i := 0; i < 10000; i++ {
+		h.Add(uint64(r.IntN(1000)))
+	}
+	ccdf := h.CCDF()
+	if ccdf[0].P != 1.0 {
+		t.Fatalf("CCDF at min = %f", ccdf[0].P)
+	}
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i].P > ccdf[i-1].P {
+			t.Fatal("CCDF not non-increasing")
+		}
+	}
+}
+
+func TestQuickHistInvariants(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewIntHist()
+		var sum uint64
+		for _, v := range vals {
+			h.Add(uint64(v))
+			sum++
+		}
+		if h.N() != sum {
+			return false
+		}
+		var total uint64
+		for _, p := range h.Points() {
+			total += p.C
+		}
+		return total == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogBinsPreserveMass(t *testing.T) {
+	h := NewIntHist()
+	r := randx.New(2, 2)
+	var nonZero uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(r.Pareto(1, 1.2))
+		h.Add(v)
+		if v >= 1 {
+			nonZero++
+		}
+	}
+	bins := h.LogBins(2)
+	var mass uint64
+	for _, b := range bins {
+		if b.Hi <= b.Lo {
+			t.Fatalf("degenerate bin %+v", b)
+		}
+		mass += b.Count
+	}
+	if mass != nonZero {
+		t.Fatalf("binned mass %d, want %d", mass, nonZero)
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	// Sample from a discrete power law via continuous Pareto rounding.
+	r := randx.New(7, 7)
+	h := NewIntHist()
+	const alpha = 2.5 // density exponent; Pareto tail index = alpha-1
+	for i := 0; i < 200000; i++ {
+		// Round (not floor): the half-shift estimator models discrete
+		// value v as covering [v-½, v+½).
+		v := uint64(r.Pareto(1, alpha-1) + 0.5)
+		h.Add(v)
+	}
+	fit, err := FitPowerLaw(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.15 {
+		t.Fatalf("fitted alpha = %.3f, want ~%.1f (fit: %s)", fit.Alpha, alpha, fit)
+	}
+	if fit.KS > 0.05 {
+		t.Fatalf("KS = %.4f too large for a true power law", fit.KS)
+	}
+}
+
+func TestFitPowerLawRejectsTinySamples(t *testing.T) {
+	h := NewIntHist()
+	h.Add(1)
+	h.Add(2)
+	if _, err := FitPowerLaw(h); err == nil {
+		t.Fatal("fit accepted 2 points")
+	}
+}
+
+func TestFitPowerLawAtFixedCutoff(t *testing.T) {
+	r := randx.New(3, 3)
+	h := NewIntHist()
+	for i := 0; i < 50000; i++ {
+		h.Add(uint64(r.Pareto(1, 1.5) + 0.5))
+	}
+	fit, err := FitPowerLawAt(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.XMin != 2 {
+		t.Fatalf("xmin = %d", fit.XMin)
+	}
+	if math.Abs(fit.Alpha-2.5) > 0.2 {
+		t.Fatalf("alpha = %.3f, want ~2.5", fit.Alpha)
+	}
+}
+
+func TestLogNormalIsNotAPowerLaw(t *testing.T) {
+	// Sanity: the fit should be clearly worse (bigger KS) for a
+	// log-normal body than for a true power law — this is how the
+	// analysis distinguishes Fig 4/5 (power-law) from Fig 6/7 (not).
+	r := randx.New(4, 4)
+	pl, ln := NewIntHist(), NewIntHist()
+	for i := 0; i < 100000; i++ {
+		pl.Add(uint64(r.Pareto(1, 1.5) + 0.5))
+		ln.Add(uint64(r.LogNormal(3, 0.4) + 0.5))
+	}
+	fitPL, err := FitPowerLaw(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitLN, err := FitPowerLaw(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitLN.KS <= fitPL.KS {
+		t.Fatalf("log-normal KS %.4f <= power-law KS %.4f", fitLN.KS, fitPL.KS)
+	}
+}
+
+func TestFindPeaks(t *testing.T) {
+	h := NewIntHist()
+	// Smooth background 1..1000 with spikes at 700 and 350.
+	r := randx.New(5, 5)
+	for i := 0; i < 20000; i++ {
+		h.Add(uint64(1 + r.IntN(1000)))
+	}
+	h.AddN(700, 5000)
+	h.AddN(350, 3000)
+	peaks := FindPeaks(h, 1.3, 5, 100)
+	if len(peaks) < 2 {
+		t.Fatalf("found %d peaks, want >=2", len(peaks))
+	}
+	if peaks[0].V != 700 || peaks[1].V != 350 {
+		t.Fatalf("peaks = %+v", peaks[:2])
+	}
+	if peaks[0].Prominence < 5 {
+		t.Fatalf("prominence = %f", peaks[0].Prominence)
+	}
+}
+
+func TestFindPeaksIgnoresSmooth(t *testing.T) {
+	h := NewIntHist()
+	for v := uint64(100); v < 200; v++ {
+		h.AddN(v, 50)
+	}
+	if peaks := FindPeaks(h, 1.3, 3, 10); len(peaks) != 0 {
+		t.Fatalf("smooth distribution produced peaks: %+v", peaks)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := NewIntHist()
+	for v := uint64(1); v <= 10; v++ {
+		h.Add(v)
+	}
+	s := h.Summarize()
+	if s.N != 10 || s.Median != 5 || s.Max != 10 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if !strings.Contains(s.String(), "median=5") {
+		t.Fatalf("summary string: %s", s)
+	}
+}
+
+func TestAsciiPlotRenders(t *testing.T) {
+	h := NewIntHist()
+	r := randx.New(6, 6)
+	for i := 0; i < 10000; i++ {
+		h.Add(uint64(r.Pareto(1, 1.2)))
+	}
+	p := NewLogLog("figure 4")
+	p.XLabel = "providers per file"
+	p.YLabel = "files"
+	out := p.Render(h.Points())
+	if !strings.Contains(out, "figure 4") || !strings.Contains(out, "*") {
+		t.Fatalf("plot:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < p.Height {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	if p.Render(nil) == "" {
+		t.Fatal("empty render must still say something")
+	}
+}
+
+func TestLogBinsPanicOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIntHist().LogBins(1.0)
+}

@@ -1,0 +1,134 @@
+package tcpsim
+
+import (
+	"edtrace/internal/ed2k"
+	"edtrace/internal/randx"
+	"edtrace/internal/simtime"
+)
+
+// Session generates the client-side segment sequence of one eDonkey TCP
+// conversation: SYN, login, framed messages, FIN. MSS bounds payload per
+// segment, splitting frames across segments like a real stack would.
+type Session struct {
+	Src, Dst         uint32
+	SrcPort, DstPort uint16
+	MSS              int
+}
+
+// Segments serialises the whole conversation (client direction only; the
+// capture-side experiments only reconstruct the inbound stream, which is
+// what the server-side measurement observes most of).
+func (s *Session) Segments(msgs []ed2k.Message, r *randx.Rand) [][]byte {
+	mss := s.MSS
+	if mss <= 0 {
+		mss = 1460
+	}
+	isn := r.Uint32()
+	var out [][]byte
+	out = append(out, Encode(s.Src, s.Dst, Segment{
+		SrcPort: s.SrcPort, DstPort: s.DstPort, Seq: isn, Flags: FlagSYN,
+	}))
+	seq := isn + 1
+
+	var stream []byte
+	for _, m := range msgs {
+		if r != nil && r.Bool(0.15) {
+			stream = append(stream, ed2k.FrameTCPPacked(m)...)
+		} else {
+			stream = append(stream, ed2k.FrameTCP(m)...)
+		}
+	}
+	for off := 0; off < len(stream); off += mss {
+		end := off + mss
+		if end > len(stream) {
+			end = len(stream)
+		}
+		out = append(out, Encode(s.Src, s.Dst, Segment{
+			SrcPort: s.SrcPort, DstPort: s.DstPort,
+			Seq: seq, Flags: FlagACK, Payload: stream[off:end],
+		}))
+		seq += uint32(end - off)
+	}
+	out = append(out, Encode(s.Src, s.Dst, Segment{
+		SrcPort: s.SrcPort, DstPort: s.DstPort, Seq: seq, Flags: FlagFIN | FlagACK,
+	}))
+	return out
+}
+
+// ReconstructionExperiment drops each segment independently with
+// probability lossRate, feeds the survivors to a reassembler and reports
+// how many of the sent messages were recovered — the paper's footnote-2
+// argument quantified.
+type ReconstructionExperiment struct {
+	Flows       int
+	MsgsPerFlow int
+	LossRate    float64
+	Seed        uint64
+}
+
+// ExperimentResult summarises one run.
+type ExperimentResult struct {
+	Sent      int
+	Recovered int
+	Stats     Stats
+}
+
+// RecoveryRate is recovered/sent.
+func (r ExperimentResult) RecoveryRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Recovered) / float64(r.Sent)
+}
+
+// Run executes the experiment.
+func (e ReconstructionExperiment) Run() ExperimentResult {
+	r := randx.New(e.Seed, 0x7C15)
+	reasm := NewFlowReassembler()
+	recovered := 0
+	reasm.OnMessage = func(FlowKey, ed2k.Message) { recovered++ }
+
+	sent := 0
+	serverIP := uint32(0x0A000001)
+	for fl := 0; fl < e.Flows; fl++ {
+		sess := &Session{
+			Src: 0x20000000 + uint32(fl), Dst: serverIP,
+			SrcPort: uint16(1024 + fl%50000), DstPort: 4661,
+			MSS: 1460,
+		}
+		msgs := []ed2k.Message{
+			&ed2k.LoginRequest{Hash: ed2k.FileID{byte(fl)}, Client: ed2k.ClientID(fl), Port: 4662, Nick: "peer"},
+		}
+		for m := 0; m < e.MsgsPerFlow; m++ {
+			offer := &ed2k.OfferFiles{Client: ed2k.ClientID(fl), Port: 4662}
+			// Realistic announcement batches: several files per message,
+			// so flows span multiple MSS-sized segments.
+			for k := 0; k < 8; k++ {
+				var fid ed2k.FileID
+				fid[0], fid[1], fid[2], fid[5] = byte(fl), byte(m), byte(k), byte(fl*m)
+				offer.Files = append(offer.Files, ed2k.FileEntry{
+					ID: fid,
+					Tags: []ed2k.Tag{
+						ed2k.StringTag(ed2k.FTFileName, "some shared file with a name.mp3"),
+						ed2k.UintTag(ed2k.FTFileSize, 4<<20),
+					},
+				})
+			}
+			msgs = append(msgs, offer)
+		}
+		sent += len(msgs)
+		now := simtime.Time(fl) * simtime.Millisecond
+		for _, raw := range sess.Segments(msgs, r) {
+			if r.Bool(e.LossRate) {
+				continue // the capture missed this segment
+			}
+			seg, err := Decode(sess.Src, sess.Dst, raw)
+			if err != nil {
+				continue
+			}
+			reasm.Push(now, sess.Src, sess.Dst, seg)
+		}
+	}
+	reasm.Expire(simtime.Time(e.Flows)*simtime.Millisecond + 10*simtime.Minute)
+	return ExperimentResult{Sent: sent, Recovered: recovered, Stats: reasm.Stats()}
+}

@@ -1,0 +1,196 @@
+package tcpsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/randx"
+	"edtrace/internal/simtime"
+)
+
+func TestSegmentRoundtrip(t *testing.T) {
+	s := Segment{SrcPort: 1234, DstPort: 4661, Seq: 0xDEADBEEF, Ack: 42,
+		Flags: FlagACK, Payload: []byte("stream bytes")}
+	raw := Encode(1, 2, s)
+	got, err := Decode(1, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != s.SrcPort || got.Seq != s.Seq || got.Flags != s.Flags {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if string(got.Payload) != string(s.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	// Corruption must break the checksum.
+	raw[HeaderLen] ^= 0xFF
+	if _, err := Decode(1, 2, raw); err == nil {
+		t.Fatal("corrupted segment accepted")
+	}
+	// Wrong pseudo-header too.
+	raw[HeaderLen] ^= 0xFF
+	if _, err := Decode(1, 3, raw); err == nil {
+		t.Fatal("wrong addresses accepted")
+	}
+}
+
+func TestQuickSegmentRoundtrip(t *testing.T) {
+	f := func(src, dst uint32, seq uint32, payload []byte) bool {
+		if len(payload) > 1460 {
+			payload = payload[:1460]
+		}
+		raw := Encode(src, dst, Segment{Seq: seq, Flags: FlagACK, Payload: payload})
+		got, err := Decode(src, dst, raw)
+		return err == nil && got.Seq == seq && string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkMsgs(n int) []ed2k.Message {
+	msgs := []ed2k.Message{
+		&ed2k.LoginRequest{Hash: ed2k.FileID{1}, Client: 7, Port: 4662, Nick: "t"},
+	}
+	for i := 0; i < n; i++ {
+		msgs = append(msgs, &ed2k.StatReq{Challenge: uint32(i)})
+	}
+	return msgs
+}
+
+func runSession(t *testing.T, reasm *FlowReassembler, loss func(i int) bool, n int) int {
+	t.Helper()
+	sess := &Session{Src: 100, Dst: 200, SrcPort: 5000, DstPort: 4661, MSS: 64}
+	r := randx.New(1, 1)
+	segs := sess.Segments(mkMsgs(n), r)
+	for i, raw := range segs {
+		if loss != nil && loss(i) {
+			continue
+		}
+		seg, err := Decode(sess.Src, sess.Dst, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reasm.Push(simtime.Time(i)*simtime.Millisecond, sess.Src, sess.Dst, seg)
+	}
+	return len(segs)
+}
+
+func TestLosslessFlowRecoversEverything(t *testing.T) {
+	reasm := NewFlowReassembler()
+	var got []ed2k.Message
+	reasm.OnMessage = func(_ FlowKey, m ed2k.Message) { got = append(got, m) }
+	runSession(t, reasm, nil, 10)
+	if len(got) != 11 { // login + 10 stats
+		t.Fatalf("recovered %d messages, want 11", len(got))
+	}
+	if _, ok := got[0].(*ed2k.LoginRequest); !ok {
+		t.Fatalf("first message: %#v", got[0])
+	}
+	st := reasm.Stats()
+	if st.CompletedFlows != 1 || st.AbortedFlows != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if reasm.ActiveFlows() != 0 {
+		t.Fatal("flow not reaped after FIN")
+	}
+}
+
+func TestOutOfOrderSegmentsRecover(t *testing.T) {
+	reasm := NewFlowReassembler()
+	count := 0
+	reasm.OnMessage = func(FlowKey, ed2k.Message) { count++ }
+	sess := &Session{Src: 1, Dst: 2, SrcPort: 1, DstPort: 4661, MSS: 48}
+	segs := sess.Segments(mkMsgs(6), randx.New(2, 2))
+	// Deliver SYN first, then payload segments in reverse, then FIN.
+	push := func(raw []byte) {
+		seg, err := Decode(1, 2, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reasm.Push(0, 1, 2, seg)
+	}
+	push(segs[0])
+	for i := len(segs) - 2; i >= 1; i-- {
+		push(segs[i])
+	}
+	push(segs[len(segs)-1])
+	if count != 7 {
+		t.Fatalf("recovered %d messages out of order, want 7", count)
+	}
+	if reasm.Stats().CompletedFlows != 1 {
+		t.Fatalf("stats: %+v", reasm.Stats())
+	}
+}
+
+func TestLostSYNKillsFlow(t *testing.T) {
+	reasm := NewFlowReassembler()
+	count := 0
+	reasm.OnMessage = func(FlowKey, ed2k.Message) { count++ }
+	total := runSession(t, reasm, func(i int) bool { return i == 0 }, 5)
+	if count != 0 {
+		t.Fatalf("recovered %d messages without a SYN anchor", count)
+	}
+	_ = total
+}
+
+func TestMidFlowLossStallsAndExpires(t *testing.T) {
+	reasm := NewFlowReassembler()
+	count := 0
+	reasm.OnMessage = func(FlowKey, ed2k.Message) { count++ }
+	// Drop an early payload segment: everything after it stalls.
+	runSession(t, reasm, func(i int) bool { return i == 1 }, 30)
+	if count >= 31 {
+		t.Fatalf("recovered %d despite a gap", count)
+	}
+	st := reasm.Stats()
+	if st.GapStalls == 0 {
+		t.Fatal("no gap stalls recorded")
+	}
+	// FIN with leftover bytes counts as aborted.
+	if st.AbortedFlows != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestExpireReapsSilentFlows(t *testing.T) {
+	reasm := NewFlowReassembler()
+	// SYN only, then silence.
+	seg, _ := Decode(1, 2, Encode(1, 2, Segment{SrcPort: 9, DstPort: 4661, Seq: 100, Flags: FlagSYN}))
+	reasm.Push(0, 1, 2, seg)
+	if reasm.ActiveFlows() != 1 {
+		t.Fatal("flow not tracked")
+	}
+	reasm.Expire(2 * simtime.Minute)
+	if reasm.ActiveFlows() != 0 {
+		t.Fatal("silent flow not reaped")
+	}
+}
+
+func TestReconstructionExperimentLossless(t *testing.T) {
+	res := ReconstructionExperiment{Flows: 50, MsgsPerFlow: 8, LossRate: 0, Seed: 3}.Run()
+	if res.RecoveryRate() != 1.0 {
+		t.Fatalf("lossless recovery = %.3f, want 1.0 (%+v)", res.RecoveryRate(), res.Stats)
+	}
+	if res.Stats.SYNs != 50 {
+		t.Fatalf("SYNs = %d", res.Stats.SYNs)
+	}
+}
+
+func TestReconstructionDegradesSuperlinearly(t *testing.T) {
+	// The paper's footnote-2 argument: segment loss rate p destroys far
+	// more than fraction p of messages, because one missing segment
+	// stalls a whole flow.
+	lossy := ReconstructionExperiment{Flows: 200, MsgsPerFlow: 10, LossRate: 0.02, Seed: 4}.Run()
+	rate := lossy.RecoveryRate()
+	if rate >= 0.95 {
+		t.Fatalf("2%% segment loss should cost >5%% of messages, lost only %.1f%%", 100*(1-rate))
+	}
+	if rate < 0.30 {
+		t.Fatalf("recovery %.3f implausibly low", rate)
+	}
+	if lossy.Stats.AbortedFlows == 0 {
+		t.Fatal("no aborted flows under loss")
+	}
+}

@@ -1,0 +1,339 @@
+package xmlenc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax is returned for input outside the spec.md grammar.
+var ErrSyntax = errors.New("xmlenc: syntax error")
+
+// Decoder streams records back out of the XML dialect. It is strictly
+// line-oriented per the specification, holding one record in memory at a
+// time, which is what makes analysis of huge datasets cheap.
+type Decoder struct {
+	s     *bufio.Scanner
+	meta  map[string]string
+	done  bool
+	count uint64
+	line  int
+}
+
+// NewDecoder parses the document header and positions the decoder before
+// the first record.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	d := &Decoder{s: s, meta: map[string]string{}}
+
+	// Prologue: optional xml declaration, then the root element.
+	line, err := d.nextLine()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrSyntax)
+	}
+	if strings.HasPrefix(line, "<?xml") {
+		line, err = d.nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing root element", ErrSyntax)
+		}
+	}
+	name, attrs, self, rest, err := parseTag(line)
+	if err != nil || name != "edtrace" || self || rest != "" {
+		return nil, fmt.Errorf("%w: bad root element %q", ErrSyntax, line)
+	}
+	for _, a := range attrs {
+		d.meta[a.key] = a.val
+	}
+	if d.meta["version"] != "1.0" {
+		return nil, fmt.Errorf("%w: unsupported version %q", ErrSyntax, d.meta["version"])
+	}
+	return d, nil
+}
+
+// Meta returns the root element attributes (including "version").
+func (d *Decoder) Meta() map[string]string { return d.meta }
+
+// Count reports records decoded so far.
+func (d *Decoder) Count() uint64 { return d.count }
+
+func (d *Decoder) nextLine() (string, error) {
+	for d.s.Scan() {
+		d.line++
+		line := strings.TrimSpace(d.s.Text())
+		if line != "" {
+			return line, nil
+		}
+	}
+	if err := d.s.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// Next returns the next record, or io.EOF after the closing root tag.
+func (d *Decoder) Next() (*Record, error) {
+	if d.done {
+		return nil, io.EOF
+	}
+	line, err := d.nextLine()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: missing </edtrace>", ErrSyntax)
+		}
+		return nil, err
+	}
+	if line == "</edtrace>" {
+		d.done = true
+		return nil, io.EOF
+	}
+	rec, err := parseRecord(line)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %w", d.line, err)
+	}
+	d.count++
+	return rec, nil
+}
+
+type attr struct {
+	key, val string
+}
+
+// parseTag parses one tag at the start of s, returning the element name,
+// attributes, whether it was self-closing, and the remainder of s.
+func parseTag(s string) (name string, attrs []attr, selfClosing bool, rest string, err error) {
+	if len(s) < 2 || s[0] != '<' {
+		return "", nil, false, "", fmt.Errorf("%w: expected tag at %q", ErrSyntax, trunc(s))
+	}
+	i := 1
+	for i < len(s) && isNameByte(s[i]) {
+		i++
+	}
+	if i == 1 {
+		return "", nil, false, "", fmt.Errorf("%w: empty tag name at %q", ErrSyntax, trunc(s))
+	}
+	name = s[1:i]
+	for {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) {
+			return "", nil, false, "", fmt.Errorf("%w: unterminated tag <%s", ErrSyntax, name)
+		}
+		if s[i] == '/' {
+			if i+1 >= len(s) || s[i+1] != '>' {
+				return "", nil, false, "", fmt.Errorf("%w: bad self-close in <%s", ErrSyntax, name)
+			}
+			return name, attrs, true, s[i+2:], nil
+		}
+		if s[i] == '>' {
+			return name, attrs, false, s[i+1:], nil
+		}
+		// attribute: name="value"
+		j := i
+		for j < len(s) && isNameByte(s[j]) {
+			j++
+		}
+		if j == i || j >= len(s) || s[j] != '=' || j+1 >= len(s) || s[j+1] != '"' {
+			return "", nil, false, "", fmt.Errorf("%w: bad attribute in <%s> at %q", ErrSyntax, name, trunc(s[i:]))
+		}
+		k := j + 2
+		for k < len(s) && s[k] != '"' {
+			k++
+		}
+		if k >= len(s) {
+			return "", nil, false, "", fmt.Errorf("%w: unterminated attribute value in <%s>", ErrSyntax, name)
+		}
+		attrs = append(attrs, attr{key: s[i:j], val: unescape(s[j+2 : k])})
+		i = k + 1
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+func trunc(s string) string {
+	if len(s) > 32 {
+		return s[:32] + "..."
+	}
+	return s
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			continue
+		}
+		rest := s[i:]
+		switch {
+		case strings.HasPrefix(rest, "&amp;"):
+			b.WriteByte('&')
+			i += 4
+		case strings.HasPrefix(rest, "&lt;"):
+			b.WriteByte('<')
+			i += 3
+		case strings.HasPrefix(rest, "&gt;"):
+			b.WriteByte('>')
+			i += 3
+		case strings.HasPrefix(rest, "&quot;"):
+			b.WriteByte('"')
+			i += 5
+		case strings.HasPrefix(rest, "&apos;"):
+			b.WriteByte('\'')
+			i += 5
+		default:
+			b.WriteByte('&')
+		}
+	}
+	return b.String()
+}
+
+// parseRecord parses one full <r> line.
+func parseRecord(line string) (*Record, error) {
+	name, attrs, self, rest, err := parseTag(line)
+	if err != nil {
+		return nil, err
+	}
+	if name != "r" {
+		return nil, fmt.Errorf("%w: expected <r>, got <%s>", ErrSyntax, name)
+	}
+	rec := &Record{}
+	for _, a := range attrs {
+		switch a.key {
+		case "t":
+			rec.T, err = strconv.ParseFloat(a.val, 64)
+		case "c":
+			rec.Client, err = parseU32(a.val)
+		case "op":
+			rec.Op = a.val
+		case "dir":
+			switch a.val {
+			case "q":
+				rec.Dir = DirQuery
+			case "a":
+				rec.Dir = DirAnswer
+			default:
+				err = fmt.Errorf("%w: dir %q", ErrSyntax, a.val)
+			}
+		case "minkb":
+			rec.MinKB, err = strconv.ParseUint(a.val, 10, 64)
+		case "maxkb":
+			rec.MaxKB, err = strconv.ParseUint(a.val, 10, 64)
+		case "users":
+			rec.Users, err = parseU32(a.val)
+		case "files":
+			rec.FilesCount, err = parseU32(a.val)
+		case "n":
+			rec.Accepted, err = parseU32(a.val)
+		default:
+			return nil, fmt.Errorf("%w: unknown attribute %q on <r>", ErrSyntax, a.key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: attribute %s=%q", ErrSyntax, a.key, a.val)
+		}
+	}
+	if self {
+		if rest != "" {
+			return nil, fmt.Errorf("%w: trailing content %q", ErrSyntax, trunc(rest))
+		}
+		return rec, nil
+	}
+	// Children until </r>.
+	for {
+		if strings.HasPrefix(rest, "</r>") {
+			if rest != "</r>" {
+				return nil, fmt.Errorf("%w: trailing content %q", ErrSyntax, trunc(rest))
+			}
+			return rec, nil
+		}
+		var cname string
+		var cattrs []attr
+		var cself bool
+		cname, cattrs, cself, rest, err = parseTag(rest)
+		if err != nil {
+			return nil, err
+		}
+		if !cself {
+			return nil, fmt.Errorf("%w: child <%s> must be self-closing", ErrSyntax, cname)
+		}
+		if err := applyChild(rec, cname, cattrs); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func applyChild(rec *Record, name string, attrs []attr) error {
+	get := func(key string) (string, bool) {
+		for _, a := range attrs {
+			if a.key == key {
+				return a.val, true
+			}
+		}
+		return "", false
+	}
+	switch name {
+	case "f":
+		var fi FileInfo
+		ids, ok := get("id")
+		if !ok {
+			return fmt.Errorf("%w: <f> without id", ErrSyntax)
+		}
+		id, err := parseU32(ids)
+		if err != nil {
+			return fmt.Errorf("%w: <f id=%q>", ErrSyntax, ids)
+		}
+		fi.ID = id
+		if s, ok := get("s"); ok {
+			fi.SizeKB, err = strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("%w: <f s=%q>", ErrSyntax, s)
+			}
+		}
+		fi.NameHash, _ = get("n")
+		fi.TypeHash, _ = get("ty")
+		rec.Files = append(rec.Files, fi)
+	case "fr":
+		ids, ok := get("id")
+		if !ok {
+			return fmt.Errorf("%w: <fr> without id", ErrSyntax)
+		}
+		id, err := parseU32(ids)
+		if err != nil {
+			return fmt.Errorf("%w: <fr id=%q>", ErrSyntax, ids)
+		}
+		rec.FileRefs = append(rec.FileRefs, id)
+	case "s":
+		cs, ok := get("c")
+		if !ok {
+			return fmt.Errorf("%w: <s> without c", ErrSyntax)
+		}
+		c, err := parseU32(cs)
+		if err != nil {
+			return fmt.Errorf("%w: <s c=%q>", ErrSyntax, cs)
+		}
+		rec.Sources = append(rec.Sources, c)
+	case "k":
+		h, ok := get("h")
+		if !ok {
+			return fmt.Errorf("%w: <k> without h", ErrSyntax)
+		}
+		rec.Keywords = append(rec.Keywords, h)
+	default:
+		return fmt.Errorf("%w: unknown child <%s>", ErrSyntax, name)
+	}
+	return nil
+}
+
+func parseU32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	return uint32(v), err
+}

@@ -1,0 +1,185 @@
+package xmlenc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encoder streams records as the XML dialect specified in spec.md.
+type Encoder struct {
+	w     *bufio.Writer
+	buf   []byte
+	open  bool
+	count uint64
+}
+
+// NewEncoder returns an encoder writing to w. Call Begin before the first
+// record and End after the last.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Begin writes the document header. meta attributes (sorted by the
+// caller) annotate the root element; keys must be XML names.
+func (e *Encoder) Begin(meta map[string]string) error {
+	if e.open {
+		return fmt.Errorf("xmlenc: Begin called twice")
+	}
+	e.open = true
+	if _, err := e.w.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n"); err != nil {
+		return err
+	}
+	b := []byte(`<edtrace version="1.0"`)
+	for _, k := range sortedKeys(meta) {
+		b = appendAttr(b, k, meta[k])
+	}
+	b = append(b, '>', '\n')
+	_, err := e.w.Write(b)
+	return err
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort; meta maps are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Write emits one record as a single line.
+func (e *Encoder) Write(r *Record) error {
+	if !e.open {
+		return fmt.Errorf("xmlenc: Write before Begin")
+	}
+	b := e.buf[:0]
+	b = append(b, `<r t="`...)
+	b = strconv.AppendFloat(b, r.T, 'f', 3, 64)
+	b = append(b, `" c="`...)
+	b = strconv.AppendUint(b, uint64(r.Client), 10)
+	b = append(b, `" op="`...)
+	b = append(b, r.Op...)
+	b = append(b, `" dir="`...)
+	b = append(b, r.Dir.String()...)
+	b = append(b, '"')
+	if r.MinKB != 0 {
+		b = append(b, ` minkb="`...)
+		b = strconv.AppendUint(b, r.MinKB, 10)
+		b = append(b, '"')
+	}
+	if r.MaxKB != 0 {
+		b = append(b, ` maxkb="`...)
+		b = strconv.AppendUint(b, r.MaxKB, 10)
+		b = append(b, '"')
+	}
+	if r.Users != 0 {
+		b = append(b, ` users="`...)
+		b = strconv.AppendUint(b, uint64(r.Users), 10)
+		b = append(b, '"')
+	}
+	if r.FilesCount != 0 {
+		b = append(b, ` files="`...)
+		b = strconv.AppendUint(b, uint64(r.FilesCount), 10)
+		b = append(b, '"')
+	}
+	if r.Accepted != 0 {
+		b = append(b, ` n="`...)
+		b = strconv.AppendUint(b, uint64(r.Accepted), 10)
+		b = append(b, '"')
+	}
+	if len(r.Files) == 0 && len(r.FileRefs) == 0 && len(r.Sources) == 0 && len(r.Keywords) == 0 {
+		b = append(b, "/>\n"...)
+	} else {
+		b = append(b, '>')
+		for i := range r.Files {
+			f := &r.Files[i]
+			b = append(b, `<f id="`...)
+			b = strconv.AppendUint(b, uint64(f.ID), 10)
+			b = append(b, `" s="`...)
+			b = strconv.AppendUint(b, f.SizeKB, 10)
+			b = append(b, '"')
+			if f.NameHash != "" {
+				b = appendAttr(b, "n", f.NameHash)
+			}
+			if f.TypeHash != "" {
+				b = appendAttr(b, "ty", f.TypeHash)
+			}
+			b = append(b, "/>"...)
+		}
+		for _, id := range r.FileRefs {
+			b = append(b, `<fr id="`...)
+			b = strconv.AppendUint(b, uint64(id), 10)
+			b = append(b, `"/>`...)
+		}
+		for _, c := range r.Sources {
+			b = append(b, `<s c="`...)
+			b = strconv.AppendUint(b, uint64(c), 10)
+			b = append(b, `"/>`...)
+		}
+		for _, k := range r.Keywords {
+			b = append(b, `<k h="`...)
+			b = appendEscaped(b, k)
+			b = append(b, `"/>`...)
+		}
+		b = append(b, "</r>\n"...)
+	}
+	e.buf = b
+	e.count++
+	_, err := e.w.Write(b)
+	return err
+}
+
+// End closes the document and flushes.
+func (e *Encoder) End() error {
+	if !e.open {
+		return fmt.Errorf("xmlenc: End before Begin")
+	}
+	if _, err := e.w.WriteString("</edtrace>\n"); err != nil {
+		return err
+	}
+	e.open = false
+	return e.w.Flush()
+}
+
+// Count reports records written.
+func (e *Encoder) Count() uint64 { return e.count }
+
+func appendAttr(b []byte, key, val string) []byte {
+	b = append(b, ' ')
+	b = append(b, key...)
+	b = append(b, '=', '"')
+	b = appendEscaped(b, val)
+	return append(b, '"')
+}
+
+// appendEscaped writes val with the five XML entities escaped.
+func appendEscaped(b []byte, val string) []byte {
+	if !strings.ContainsAny(val, `&<>"'`) {
+		return append(b, val...)
+	}
+	for i := 0; i < len(val); i++ {
+		switch val[i] {
+		case '&':
+			b = append(b, "&amp;"...)
+		case '<':
+			b = append(b, "&lt;"...)
+		case '>':
+			b = append(b, "&gt;"...)
+		case '"':
+			b = append(b, "&quot;"...)
+		case '\'':
+			b = append(b, "&apos;"...)
+		default:
+			b = append(b, val[i])
+		}
+	}
+	return b
+}
