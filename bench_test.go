@@ -12,12 +12,14 @@ package edtrace
 //	BenchmarkFig8FileSizes    — size histogram + CD-size peak matching
 //	BenchmarkAblation*        — the paper's data-structure arguments
 //	BenchmarkDecodeThroughput / BenchmarkPipeline — the real-time claim
+//	BenchmarkSessionPipeline  — the Session hot path (bounded channel)
 //
 // Figure benches share one simulated capture (built once), so -bench=.
 // stays minutes, not hours. Numbers land in bench_output.txt and are
 // interpreted against the paper in EXPERIMENTS.md.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -352,12 +354,11 @@ func BenchmarkDecodeThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkPipeline measures the full per-frame pipeline (ethernet → IP
-// → UDP → decode → anonymise → record), the end-to-end real-time path.
-func BenchmarkPipeline(b *testing.B) {
-	p := core.NewPipeline(0x0A000001, [2]int{5, 11}, core.DiscardSink{})
+// benchFrames builds n (a power of two) GetSources frames — the mix
+// shared by the pipeline throughput benchmarks.
+func benchFrames(n int) [][]byte {
 	r := randx.New(3, 3)
-	frames := make([][]byte, 1024)
+	frames := make([][]byte, n)
 	for i := range frames {
 		var fid ed2k.FileID
 		fid[0] = byte(i)
@@ -373,6 +374,15 @@ func BenchmarkPipeline(b *testing.B) {
 		}, dg)
 		frames[i] = netsim.EncodeEthernet(src, 0x0A000001, pkt)
 	}
+	return frames
+}
+
+// BenchmarkPipeline measures the full per-frame pipeline (ethernet → IP
+// → UDP → decode → anonymise → record) called directly — the end-to-end
+// real-time path and the baseline for BenchmarkSessionPipeline.
+func BenchmarkPipeline(b *testing.B) {
+	p := core.NewPipeline(0x0A000001, [2]int{5, 11}, core.DiscardSink{})
+	frames := benchFrames(1024)
 	b.SetBytes(int64(len(frames[0])))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -383,6 +393,48 @@ func BenchmarkPipeline(b *testing.B) {
 	st := p.Stats()
 	if st.DecodedOK == 0 {
 		b.Fatal("pipeline decoded nothing — benchmark frames are broken")
+	}
+	b.ReportMetric(float64(st.DecodedOK)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// replaySource feeds a fixed frame mix through a Session n times — the
+// harness for measuring the Session hot path in isolation. Re-emitting
+// the same slices bends EmitFunc's ownership rule, which is safe only
+// because the pool (4096) exceeds the session's maximum in-flight
+// window (queue depth 1024 + 2): by the time a slice is emitted again,
+// the pipeline has long finished with it, and without a tee the
+// pipeline neither retains nor mutates frames.
+type replaySource struct {
+	frames [][]byte
+	n      int
+}
+
+func (s *replaySource) Frames(ctx context.Context, emit EmitFunc) error {
+	mask := len(s.frames) - 1
+	for i := 0; i < s.n; i++ {
+		if err := emit(simtime.Time(i)*simtime.Microsecond, s.frames[i&mask]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkSessionPipeline measures the same frame mix as
+// BenchmarkPipeline flowing through Session.Run — source goroutine,
+// bounded channel, pipeline stage. The difference between the two is the
+// cost of decoupling the decoder from the capture loop.
+func BenchmarkSessionPipeline(b *testing.B) {
+	frames := benchFrames(4096)
+	src := &replaySource{frames: frames, n: b.N}
+	b.SetBytes(int64(len(frames[0])))
+	b.ResetTimer()
+	res, err := NewSession(src, WithServerIP(0x0A000001)).Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := res.Report.Pipeline
+	if st.DecodedOK == 0 {
+		b.Fatal("session decoded nothing — benchmark frames are broken")
 	}
 	b.ReportMetric(float64(st.DecodedOK)/b.Elapsed().Seconds(), "msgs/s")
 }

@@ -1,15 +1,22 @@
-// Command edanalyze recomputes the paper's figures from a stored XML
-// dataset directory (as produced by edsim -out).
+// Command edanalyze recomputes the paper's figures offline: from a
+// stored XML dataset directory (as produced by edsim -out), or straight
+// from a raw pcap capture (as produced by edsim -tee or any capture
+// machine), replayed through the same Session pipeline as a live run.
 //
 // Usage:
 //
 //	edanalyze -in /tmp/ds [-csv /tmp/csv]
+//	edanalyze -pcap /tmp/capture.pcap -server 192.168.0.1
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -21,44 +28,73 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "dataset directory (required)")
-		csv    = flag.String("csv", "", "directory to write per-figure CSV series")
-		verify = flag.Bool("verify", false, "check every spec invariant before analysing")
+		in       = flag.String("in", "", "dataset directory")
+		pcapFile = flag.String("pcap", "", "raw pcap capture to replay instead of a dataset")
+		server   = flag.String("server", "", "server IPv4 address (required with -pcap)")
+		csv      = flag.String("csv", "", "directory to write per-figure CSV series")
+		verify   = flag.Bool("verify", false, "check every spec invariant before analysing")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "edanalyze: -in is required")
+	if (*in == "") == (*pcapFile == "") {
+		fmt.Fprintln(os.Stderr, "edanalyze: exactly one of -in or -pcap is required")
+		os.Exit(2)
+	}
+	if *verify && *pcapFile != "" {
+		fmt.Fprintln(os.Stderr, "edanalyze: -verify checks dataset invariants and requires -in")
 		os.Exit(2)
 	}
 
-	man, err := dataset.Open(*in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "edanalyze:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("dataset: %d records in %d chunks, %d clients, %d fileIDs\n",
-		man.Records, len(man.Chunks), man.DistinctClients, man.DistinctFiles)
-
-	if *verify {
-		rep, err := dataset.Verify(*in)
+	var figs *analysis.Figures
+	if *pcapFile != "" {
+		ip := net.ParseIP(*server)
+		if ip == nil || ip.To4() == nil {
+			fmt.Fprintln(os.Stderr, "edanalyze: -pcap needs -server a.b.c.d")
+			os.Exit(2)
+		}
+		serverIP := binary.BigEndian.Uint32(ip.To4())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := edtrace.NewSession(
+			edtrace.NewPcapSource(*pcapFile),
+			edtrace.WithServerIP(serverIP),
+			edtrace.WithFigures(),
+		).Run(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "edanalyze:", err)
 			os.Exit(1)
 		}
-		if !rep.OK() {
-			fmt.Fprintln(os.Stderr, "edanalyze: dataset violates its specification:")
-			for _, v := range rep.Violations {
-				fmt.Fprintln(os.Stderr, "  -", v)
-			}
+		fmt.Println(res.Report)
+		figs = res.Figures
+	} else {
+		man, err := dataset.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edanalyze:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("verified: all spec invariants hold over %d records\n", rep.Records)
-	}
+		fmt.Printf("dataset: %d records in %d chunks, %d clients, %d fileIDs\n",
+			man.Records, len(man.Chunks), man.DistinctClients, man.DistinctFiles)
 
-	figs, err := edtrace.AnalyzeDataset(*in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "edanalyze:", err)
-		os.Exit(1)
+		if *verify {
+			rep, err := dataset.Verify(*in)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edanalyze:", err)
+				os.Exit(1)
+			}
+			if !rep.OK() {
+				fmt.Fprintln(os.Stderr, "edanalyze: dataset violates its specification:")
+				for _, v := range rep.Violations {
+					fmt.Fprintln(os.Stderr, "  -", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("verified: all spec invariants hold over %d records\n", rep.Records)
+		}
+
+		figs, err = edtrace.AnalyzeDataset(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edanalyze:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Print(figs.Render())
 

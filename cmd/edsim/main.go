@@ -3,15 +3,20 @@
 // network, capture machine, real-time decode + anonymise pipeline, XML
 // dataset, and the figure analyses.
 //
+// Ctrl-C cancels the run cleanly: the dataset written so far is closed
+// into a valid (partial) capture.
+//
 // Usage:
 //
 //	edsim -weeks 1 -clients 15000 -files 80000 -out /tmp/ds -figures
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"edtrace"
 	"edtrace/internal/simtime"
@@ -28,21 +33,42 @@ func main() {
 		figures  = flag.Bool("figures", true, "compute and print the figures")
 		bufKB    = flag.Int("bufkb", 256, "capture kernel buffer (KB)")
 		service  = flag.Int("service", 6000, "capture service rate (frames/sec)")
+		tee      = flag.String("tee", "", "mirror processed frames into a pcap file")
+		progress = flag.Bool("progress", false, "print periodic progress")
 	)
 	flag.Parse()
 
-	cfg := edtrace.DefaultConfig()
-	cfg.Sim.Workload.Seed = *seed
-	cfg.Sim.Workload.NumClients = *clientsN
-	cfg.Sim.Workload.NumFiles = *filesN
-	cfg.Sim.Traffic.Duration = simtime.Time(float64(simtime.Week) * *weeks)
-	cfg.Sim.KernelBufferBytes = *bufKB << 10
-	cfg.Sim.ServicePerPoll = *service / 20 // polled every 50 ms
-	cfg.DatasetDir = *out
-	cfg.Compress = *gz
-	cfg.CollectFigures = *figures
+	sim := edtrace.DefaultConfig().Sim
+	sim.Workload.Seed = *seed
+	sim.Workload.NumClients = *clientsN
+	sim.Workload.NumFiles = *filesN
+	sim.Traffic.Duration = simtime.Time(float64(simtime.Week) * *weeks)
+	sim.KernelBufferBytes = *bufKB << 10
+	sim.ServicePerPoll = *service / 20 // polled every 50 ms
 
-	res, err := edtrace.Run(cfg)
+	opts := []edtrace.Option{}
+	if *figures {
+		opts = append(opts, edtrace.WithFigures())
+	}
+	if *out != "" {
+		opts = append(opts, edtrace.WithDataset(*out, *gz))
+	}
+	if *tee != "" {
+		opts = append(opts, edtrace.WithPcapTee(*tee))
+	}
+	if *progress {
+		opts = append(opts, edtrace.WithProgress(func(p edtrace.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%12d frames  %12d records  t=%v   ",
+				p.Frames, p.Records, p.T)
+		}), edtrace.WithProgressEvery(1<<16))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := edtrace.NewSession(edtrace.NewSimSource(sim), opts...).Run(ctx)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
 		os.Exit(1)
@@ -59,5 +85,8 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Printf("dataset written to %s\n", *out)
+	}
+	if *tee != "" {
+		fmt.Printf("pcap tee written to %s\n", *tee)
 	}
 }

@@ -5,28 +5,42 @@
 // the synthetic server/client world it observes and the analyses that
 // regenerate every figure of the paper.
 //
-// The package is a thin facade over the internal modules:
+// The public API is built around two concepts:
 //
-//   - Run executes a full virtual capture (world + network + capture
-//     machine + pipeline) and returns the report and figures;
-//   - AnalyzeDataset recomputes the figures from a stored XML dataset;
-//   - Config wires the knobs documented in DESIGN.md.
+//   - A Source yields timestamped ethernet frames. Three implementations
+//     cover the paper's settings: SimSource (the discrete-event world),
+//     PcapSource (offline replay of a stored capture), and LiveSource
+//     (real UDP traffic mirrored from a server socket).
+//   - A Session drives any Source through the capture pipeline of the
+//     paper's Figure 1 — decode, anonymise, store — configured with
+//     functional options (WithDataset, WithFigures, WithSink,
+//     WithProgress, WithPcapTee, ...) and executed by Session.Run(ctx),
+//     which honours cancellation and closes every sink on every exit
+//     path.
 //
-// See examples/ for runnable entry points and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// The minimal run:
+//
+//	src := edtrace.NewSimSource(core.DefaultSimConfig())
+//	res, err := edtrace.NewSession(src, edtrace.WithFigures()).Run(ctx)
+//
+// See README.md for the quickstart and the migration table from the old
+// Run(Config) entry point, examples/ for runnable programs, and
+// EXPERIMENTS.md for the paper-vs-measured record.
 package edtrace
 
 import (
-	"fmt"
-	"strconv"
+	"context"
 
 	"edtrace/internal/analysis"
 	"edtrace/internal/core"
 	"edtrace/internal/dataset"
-	"edtrace/internal/xmlenc"
 )
 
 // Config describes one capture experiment.
+//
+// Deprecated: Config only covers the simulator mode. Build a Session
+// over a Source instead; see the package documentation. Retained for one
+// release as a shim.
 type Config struct {
 	// Sim is the full simulation configuration (world, traffic, capture
 	// machine). Start from DefaultConfig().Sim.
@@ -45,96 +59,29 @@ func DefaultConfig() Config {
 	return Config{Sim: core.DefaultSimConfig(), CollectFigures: true}
 }
 
-// Result bundles everything a capture run produces.
-type Result struct {
-	// Report carries the headline counters (the paper's abstract/§2).
-	Report *core.Report
-	// Figures are the regenerated distributions (nil unless
-	// CollectFigures was set).
-	Figures *analysis.Figures
-	// Fig2 is the capture-loss series; Fig3 the anonymisation-bucket
-	// analysis.
-	Fig2 *analysis.Fig2
-	Fig3 *analysis.Fig3
-}
-
-// teeSink fans records out to several sinks.
-type teeSink struct{ sinks []core.RecordSink }
-
-func (t teeSink) Write(r *xmlenc.Record) error {
-	for _, s := range t.sinks {
-		if err := s.Write(r); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // Run executes the experiment.
+//
+// Deprecated: use NewSession(NewSimSource(cfg.Sim), opts...).Run(ctx),
+// which adds cancellation, progress reporting and pcap teeing, and works
+// identically for pcap replay and live capture. Run is a thin shim over
+// Session and will be removed in the next release.
 func Run(cfg Config) (*Result, error) {
-	var sinks []core.RecordSink
-	if cfg.Sim.Sink != nil {
-		// A caller-provided sink keeps receiving records alongside the
-		// figure collector and dataset writer.
-		sinks = append(sinks, cfg.Sim.Sink)
-	}
-	var collector *analysis.Collector
+	opts := []Option{WithSink(cfg.Sim.Sink)}
 	if cfg.CollectFigures {
-		collector = analysis.NewCollector()
-		sinks = append(sinks, collector)
+		opts = append(opts, WithFigures())
 	}
-	var dw *dataset.Writer
 	if cfg.DatasetDir != "" {
-		var err error
-		dw, err = dataset.NewWriter(cfg.DatasetDir, dataset.WriterOptions{
-			Compress: cfg.Compress,
-			Meta: map[string]string{
-				"seed":    strconv.FormatUint(cfg.Sim.Workload.Seed, 10),
-				"clients": strconv.Itoa(cfg.Sim.Workload.NumClients),
-				"files":   strconv.Itoa(cfg.Sim.Workload.NumFiles),
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		sinks = append(sinks, dw)
+		opts = append(opts, WithDataset(cfg.DatasetDir, cfg.Compress))
 	}
-	switch len(sinks) {
-	case 0:
-		cfg.Sim.Sink = core.DiscardSink{}
-	case 1:
-		cfg.Sim.Sink = sinks[0]
-	default:
-		cfg.Sim.Sink = teeSink{sinks}
-	}
-
-	world, err := core.NewSimWorld(cfg.Sim)
-	if err != nil {
-		return nil, err
-	}
-	report, err := world.Run()
-	if err != nil {
-		return nil, err
-	}
-	if dw != nil {
-		dw.SetCounters(report.DistinctClients, report.DistinctFiles)
-		if err := dw.Close(); err != nil {
-			return nil, fmt.Errorf("edtrace: closing dataset: %w", err)
-		}
-	}
-
-	res := &Result{
-		Report: report,
-		Fig2:   analysis.NewFig2(report.LossPerSecond),
-		Fig3:   analysis.NewFig3(report.BucketSizes),
-	}
-	if collector != nil {
-		res.Figures = collector.Finalize()
-	}
-	return res, nil
+	return NewSession(NewSimSource(cfg.Sim), opts...).Run(context.Background())
 }
 
 // AnalyzeDataset streams a stored dataset and recomputes the figures.
+//
+// Deprecated: compose analysis.NewCollector with dataset.ForEach (this
+// function's two lines) for control over collection, or keep calling it
+// for the common case; it will move to the analysis layer in the next
+// release.
 func AnalyzeDataset(dir string) (*analysis.Figures, error) {
 	c := analysis.NewCollector()
 	if err := dataset.ForEach(dir, c.Write); err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -52,14 +53,13 @@ func main() {
 		askers:    make(map[uint32]map[uint32]struct{}),
 		providers: make(map[uint32]map[uint32]struct{}),
 	}
-	cfg := edtrace.DefaultConfig()
-	cfg.Sim.Workload.NumClients = 3000
-	cfg.Sim.Workload.NumFiles = 20000
-	cfg.Sim.Traffic.Duration = simtime.Day
-	cfg.CollectFigures = false
-	cfg.Sim.Sink = sink
+	sim := edtrace.DefaultConfig().Sim
+	sim.Workload.NumClients = 3000
+	sim.Workload.NumFiles = 20000
+	sim.Traffic.Duration = simtime.Day
 
-	if _, err := edtrace.Run(cfg); err != nil {
+	session := edtrace.NewSession(edtrace.NewSimSource(sim), edtrace.WithSink(sink))
+	if _, err := session.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

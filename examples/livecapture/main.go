@@ -1,47 +1,36 @@
 // Live capture: the measurement running on a real network path. This
 // example starts the eDonkey server on a loopback UDP socket, points a
-// handful of goroutine clients at it, mirrors every datagram through the
-// capture pipeline (decode → anonymise → records), and prints the
-// resulting statistics — §2's procedure with real sockets instead of the
-// simulator.
+// handful of goroutine clients at it, and mirrors every datagram into an
+// edtrace.LiveSource — §2's procedure with real sockets instead of the
+// simulator. All pipeline wiring (decode → anonymise → records) lives in
+// the Session; the example only runs the workload and the port mirror.
 package main
 
 import (
-	"encoding/binary"
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"time"
 
-	"edtrace/internal/core"
+	"edtrace"
 	"edtrace/internal/ed2k"
 	"edtrace/internal/server"
 	"edtrace/internal/simtime"
 	"edtrace/internal/xmlenc"
 )
 
-type countingSink struct {
+type recordSink struct {
 	mu   sync.Mutex
 	recs []*xmlenc.Record
 }
 
-func (c *countingSink) Write(r *xmlenc.Record) error {
+func (c *recordSink) Write(r *xmlenc.Record) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.recs = append(c.recs, r)
 	return nil
-}
-
-// ipOf returns a peer identity for the pipeline. On loopback every peer
-// shares 127.0.0.1, which would collapse the query/answer direction
-// inference, so the UDP port disambiguates: 0x7F00_0000 | port.
-func ipOf(a *net.UDPAddr) uint32 {
-	ip := binary.BigEndian.Uint32(a.IP.To4())
-	if a.IP.IsLoopback() {
-		return 0x7F000000 | uint32(a.Port)
-	}
-	return ip
 }
 
 func main() {
@@ -51,27 +40,31 @@ func main() {
 	}
 	defer srvConn.Close()
 	srvAddr := srvConn.LocalAddr().(*net.UDPAddr)
-	serverIP := ipOf(srvAddr)
+	serverIP := edtrace.UDPAddrKey(srvAddr)
 	fmt.Printf("server on %s\n", srvAddr)
 
-	srv := server.New("live", "loopback capture demo")
-	sink := &countingSink{}
-	pipe := core.NewPipeline(serverIP, [2]int{5, 11}, sink)
-	var pipeMu sync.Mutex
-	start := time.Now()
-
-	// The "port mirror": every datagram the server receives or sends is
-	// also offered to the capture pipeline.
-	mirror := func(src, dst uint32, payload []byte) {
-		pipeMu.Lock()
-		defer pipeMu.Unlock()
-		now := simtime.Time(time.Since(start))
-		if err := pipe.ProcessDatagram(now, src, dst, payload); err != nil {
-			log.Fatal(err)
-		}
+	// The capture: a LiveSource fed by the port mirror, observed by a
+	// Session running the same pipeline as the simulator and pcap modes.
+	src := edtrace.NewLiveSource(0)
+	sink := &recordSink{}
+	session := edtrace.NewSession(src,
+		edtrace.WithServerIP(serverIP),
+		edtrace.WithSink(sink),
+	)
+	type outcome struct {
+		res *edtrace.Result
+		err error
 	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := session.Run(context.Background())
+		done <- outcome{res, err}
+	}()
 
-	// Server loop.
+	// Server loop: every datagram received or sent is also mirrored into
+	// the capture source.
+	srv := server.New("live", "loopback capture demo")
+	start := time.Now()
 	go func() {
 		buf := make([]byte, 64<<10)
 		for {
@@ -80,15 +73,16 @@ func main() {
 				return
 			}
 			payload := append([]byte(nil), buf[:n]...)
-			mirror(ipOf(from), serverIP, payload)
+			fromIP := edtrace.UDPAddrKey(from)
+			src.Mirror(fromIP, serverIP, payload)
 			msg, err := ed2k.Decode(payload)
 			if err != nil {
 				continue
 			}
 			now := simtime.Time(time.Since(start))
-			for _, a := range srv.Handle(now, ed2k.ClientID(ipOf(from)), uint16(from.Port), msg) {
+			for _, a := range srv.Handle(now, ed2k.ClientID(fromIP), uint16(from.Port), msg) {
 				raw := ed2k.Encode(a)
-				mirror(serverIP, ipOf(from), raw)
+				src.Mirror(serverIP, fromIP, raw)
 				srvConn.WriteToUDP(raw, from)
 			}
 		}
@@ -144,13 +138,17 @@ func main() {
 	wg.Wait()
 	time.Sleep(200 * time.Millisecond) // let the last mirrors land
 
-	pipeMu.Lock()
-	st := pipe.Stats()
-	pipeMu.Unlock()
+	// End the capture and collect the uniform Result.
+	src.Close()
+	out := <-done
+	if out.err != nil {
+		log.Fatal(out.err)
+	}
+	rep := out.res.Report
 	fmt.Printf("\ncaptured over loopback: %d datagrams, %d decoded, %d records\n",
-		st.UDPDatagrams, st.DecodedOK, st.Records)
+		rep.Pipeline.UDPDatagrams, rep.Pipeline.DecodedOK, rep.Pipeline.Records)
 	fmt.Printf("distinct clients %d, distinct fileIDs %d\n",
-		pipe.ClientAnonymizer().Count(), pipe.FileAnonymizer().Count())
+		rep.DistinctClients, rep.DistinctFiles)
 	sink.mu.Lock()
 	defer sink.mu.Unlock()
 	for i, r := range sink.recs {

@@ -1,9 +1,10 @@
-// Quickstart: run a small virtual capture end to end and print the
-// headline numbers plus one figure — the five-minute tour of the
-// reproduction.
+// Quickstart: run a small virtual capture end to end through the
+// Session API and print the headline numbers plus one figure — the
+// five-minute tour of the reproduction.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,13 +14,14 @@ import (
 )
 
 func main() {
-	cfg := edtrace.DefaultConfig()
+	sim := edtrace.DefaultConfig().Sim
 	// Keep the quickstart quick: a small town, one virtual day.
-	cfg.Sim.Workload.NumClients = 2000
-	cfg.Sim.Workload.NumFiles = 15000
-	cfg.Sim.Traffic.Duration = simtime.Day
+	sim.Workload.NumClients = 2000
+	sim.Workload.NumFiles = 15000
+	sim.Traffic.Duration = simtime.Day
 
-	res, err := edtrace.Run(cfg)
+	session := edtrace.NewSession(edtrace.NewSimSource(sim), edtrace.WithFigures())
+	res, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

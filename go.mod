@@ -1,0 +1,3 @@
+module edtrace
+
+go 1.24

@@ -21,17 +21,16 @@ func NewPcapTee(w *pcap.Writer) *PcapTee { return &PcapTee{w: w} }
 
 // Frame implements netsim.Tap.
 func (t *PcapTee) Frame(now simtime.Time, frame []byte) {
-	_ = t.w.Write(pcap.Record{
-		TimeSec:   uint32(now / simtime.Second),
-		TimeMicro: uint32((now % simtime.Second) / simtime.Microsecond),
-		OrigLen:   uint32(len(frame)),
-		Data:      frame,
-	})
+	_ = t.w.Write(pcap.RecordAt(now, frame))
 }
 
 // RunFromPcap replays a stored pcap capture through a fresh pipeline:
 // offline decoding of a finished capture, identical code path to live
 // processing. It returns the pipeline for stats and anonymiser access.
+//
+// Deprecated: build an edtrace.Session over an edtrace.PcapSource
+// instead; it adds cancellation, figure collection and dataset storage
+// on the same replay path. Retained for one release.
 func RunFromPcap(path string, serverIP uint32, fileBytePair [2]int, sink RecordSink) (*Pipeline, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -52,8 +51,7 @@ func RunFromPcap(path string, serverIP uint32, fileBytePair [2]int, sink RecordS
 		if err != nil {
 			return nil, err
 		}
-		now := simtime.Time(rec.TimeSec)*simtime.Second +
-			simtime.Time(rec.TimeMicro)*simtime.Microsecond
+		now := rec.Time()
 		if err := p.ProcessFrame(now, rec.Data); err != nil {
 			return nil, err
 		}
@@ -69,6 +67,11 @@ func RunFromPcap(path string, serverIP uint32, fileBytePair [2]int, sink RecordS
 // mirrored frame (before any kernel-buffer loss) is appended to the file
 // at path, like a second capture machine with an unbounded buffer.
 // Call the returned close function after Run to flush the file.
+//
+// Deprecated: use edtrace.WithPcapTee on a Session, which tees the
+// post-buffer frames the pipeline actually processed (so a replay
+// reproduces the record stream exactly) and closes the file on every
+// exit path. WritePcap remains for the pre-loss tap it uniquely offers.
 func (w *SimWorld) WritePcap(path string) (func() error, error) {
 	f, err := os.Create(path)
 	if err != nil {

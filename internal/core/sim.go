@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -116,6 +118,10 @@ func (r *Report) String() string {
 		r.Pipeline.Records, r.Pipeline.Queries, r.Pipeline.Answers)
 }
 
+// FrameFunc consumes one captured ethernet frame. Returning an error
+// aborts the capture; the error is propagated out of the run.
+type FrameFunc func(now simtime.Time, frame []byte) error
+
 // SimWorld is the assembled virtual testbed.
 type SimWorld struct {
 	cfg    SimConfig
@@ -126,6 +132,14 @@ type SimWorld struct {
 	pipe   *Pipeline
 	uplink *netsim.Link
 	dnlink *netsim.Link
+
+	// deliver receives frames drained from the kernel buffer. It defaults
+	// to the internal pipeline; RunFrames redirects it to an external
+	// consumer so the decode stage can run outside the event loop.
+	deliver FrameFunc
+	ctx     context.Context
+	runErr  error
+	ran     bool
 }
 
 // NewSimWorld builds the testbed: catalog, population, server, links with
@@ -221,14 +235,23 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 	}
 
 	// Capture machine: drain the kernel buffer at the service rate and
-	// push frames through the pipeline; expire stale reassemblies once a
-	// virtual minute.
+	// push frames to the deliver hook (the internal pipeline by default);
+	// expire stale reassemblies once a virtual minute.
+	w.deliver = w.pipe.ProcessFrame
 	w.sched.Every(cfg.PollInterval, func(now simtime.Time) {
+		if w.runErr != nil {
+			return
+		}
+		if w.ctx != nil {
+			if err := w.ctx.Err(); err != nil {
+				w.fail(err)
+				return
+			}
+		}
 		for _, rec := range w.buf.Consume(cfg.ServicePerPoll) {
-			t := simtime.Time(rec.TimeSec)*simtime.Second +
-				simtime.Time(rec.TimeMicro)*simtime.Microsecond
-			if err := w.pipe.ProcessFrame(t, rec.Data); err != nil {
-				panic(fmt.Sprintf("core: sink failed: %v", err))
+			if err := w.deliver(rec.Time(), rec.Data); err != nil {
+				w.fail(err)
+				return
 			}
 		}
 	})
@@ -246,29 +269,69 @@ func (w *SimWorld) Pipeline() *Pipeline { return w.pipe }
 // Scheduler exposes the virtual clock (tests drive partial runs).
 func (w *SimWorld) Scheduler() *simtime.Scheduler { return w.sched }
 
-// Run schedules the swarm and executes the whole capture, returning the
-// report. Extra drain time after the traffic horizon lets the capture
-// machine empty its backlog.
+// fail records the first error and stops the event loop after the
+// currently executing event.
+func (w *SimWorld) fail(err error) {
+	w.runErr = err
+	w.sched.Stop()
+}
+
+// Run schedules the swarm and executes the whole capture through the
+// internal pipeline, returning the report. Extra drain time after the
+// traffic horizon lets the capture machine empty its backlog.
 func (w *SimWorld) Run() (*Report, error) {
+	rep, err := w.RunFrames(context.Background(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RunFrames executes the capture, delivering every frame the capture
+// machine drains to fn instead of the internal pipeline (fn == nil keeps
+// the internal pipeline, which is Run's behaviour). The run stops early
+// when ctx is cancelled or fn returns an error; either way the report
+// carries the capture- and world-layer counters accumulated so far.
+// Pipeline-layer report fields are only filled when the internal
+// pipeline is in use.
+func (w *SimWorld) RunFrames(ctx context.Context, fn FrameFunc) (*Report, error) {
+	if w.ran {
+		return nil, errors.New("core: SimWorld already ran")
+	}
+	w.ran = true
+	internal := fn == nil
+	if !internal {
+		w.deliver = fn
+	}
+	w.ctx = ctx
+
 	start := time.Now()
 	w.swarm.Schedule()
 	horizon := w.cfg.Traffic.Duration + 30*simtime.Second
 	w.sched.RunUntil(horizon)
 
+	// On an early stop the report covers only the virtual span actually
+	// simulated, so rates computed over VirtualDuration stay meaningful.
+	dur := w.cfg.Traffic.Duration
+	if w.runErr != nil && w.sched.Now() < dur {
+		dur = w.sched.Now()
+	}
 	rep := &Report{
-		VirtualDuration:  w.cfg.Traffic.Duration,
+		VirtualDuration:  dur,
 		WallClock:        time.Since(start),
 		EthernetCaptured: w.buf.Captured(),
 		EthernetDropped:  w.buf.Dropped(),
 		LossPerSecond:    w.buf.PerSecond(),
-		Pipeline:         w.pipe.Stats(),
-		DistinctClients:  w.pipe.ClientAnonymizer().Count(),
-		DistinctFiles:    w.pipe.FileAnonymizer().Count(),
-		BucketSizes:      w.pipe.FileAnonymizer().BucketSizes(),
 		ServerStats:      w.srv.Stats(),
 		SwarmStats:       w.swarm.Stats(),
 		FlashTimes:       w.swarm.FlashWindows(),
 	}
-	rep.MaxBucketIdx, rep.MaxBucketSize = w.pipe.FileAnonymizer().MaxBucket()
-	return rep, nil
+	if internal {
+		rep.Pipeline = w.pipe.Stats()
+		rep.DistinctClients = w.pipe.ClientAnonymizer().Count()
+		rep.DistinctFiles = w.pipe.FileAnonymizer().Count()
+		rep.BucketSizes = w.pipe.FileAnonymizer().BucketSizes()
+		rep.MaxBucketIdx, rep.MaxBucketSize = w.pipe.FileAnonymizer().MaxBucket()
+	}
+	return rep, w.runErr
 }

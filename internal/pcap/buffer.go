@@ -61,12 +61,7 @@ func (k *KernelBuffer) Produce(now simtime.Time, frame []byte) bool {
 		sec.Dropped++
 		return false
 	}
-	k.queue = append(k.queue, Record{
-		TimeSec:   uint32(now / simtime.Second),
-		TimeMicro: uint32((now % simtime.Second) / simtime.Microsecond),
-		OrigLen:   uint32(len(frame)),
-		Data:      frame,
-	})
+	k.queue = append(k.queue, RecordAt(now, frame))
 	k.used += len(frame)
 	k.captured++
 	sec.Captured++

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"edtrace/internal/simtime"
 )
 
 // File format constants (pcap classic, microsecond resolution).
@@ -44,6 +46,26 @@ type Record struct {
 	// the capture used a snap length.
 	OrigLen uint32
 	Data    []byte
+}
+
+// RecordAt builds a record for a frame captured at virtual time t,
+// quantised to the format's microsecond resolution. RecordAt and Time
+// are exact inverses (modulo that quantisation): the sim↔pcap record
+// parity guarantee depends on every producer and consumer using this
+// one conversion.
+func RecordAt(t simtime.Time, data []byte) Record {
+	return Record{
+		TimeSec:   uint32(t / simtime.Second),
+		TimeMicro: uint32((t % simtime.Second) / simtime.Microsecond),
+		OrigLen:   uint32(len(data)),
+		Data:      data,
+	}
+}
+
+// Time returns the record's capture timestamp on the virtual clock.
+func (r Record) Time() simtime.Time {
+	return simtime.Time(r.TimeSec)*simtime.Second +
+		simtime.Time(r.TimeMicro)*simtime.Microsecond
 }
 
 // Writer streams records into a pcap file.

@@ -1,0 +1,116 @@
+package edtrace
+
+import (
+	"edtrace/internal/core"
+	"edtrace/internal/simtime"
+)
+
+// Progress is a snapshot of a running session, delivered to the
+// WithProgress callback from Session.Run's consumer loop.
+type Progress struct {
+	// Frames is the number of frames processed so far.
+	Frames uint64
+	// Records is the number of anonymised records emitted so far.
+	Records uint64
+	// T is the capture timestamp of the most recent frame.
+	T simtime.Time
+}
+
+// Option configures a Session.
+type Option func(*sessionOptions)
+
+type sessionOptions struct {
+	datasetDir    string
+	datasetGzip   bool
+	figures       bool
+	sinks         []core.RecordSink
+	progress      func(Progress)
+	progressEvery uint64
+	pcapTee       string
+	serverIP      uint32
+	haveServerIP  bool
+	bytePair      [2]int
+	haveBytePair  bool
+	queueDepth    int
+}
+
+// WithDataset streams the anonymised XML dataset to dir; gzip compresses
+// the chunk files. The writer is closed (and the manifest written) on
+// every exit path, including cancellation and mid-run errors.
+func WithDataset(dir string, gzip bool) Option {
+	return func(o *sessionOptions) {
+		o.datasetDir = dir
+		o.datasetGzip = gzip
+	}
+}
+
+// WithFigures computes the paper's figures online during the run; the
+// Result's Figures field is non-nil.
+func WithFigures() Option {
+	return func(o *sessionOptions) { o.figures = true }
+}
+
+// WithSink adds a caller-provided record sink. It may be repeated; every
+// sink receives every record, alongside the figure collector and dataset
+// writer.
+func WithSink(s core.RecordSink) Option {
+	return func(o *sessionOptions) {
+		if s != nil {
+			o.sinks = append(o.sinks, s)
+		}
+	}
+}
+
+// WithProgress invokes fn periodically (every 8192 frames, and once at
+// the end of the stream) from the pipeline goroutine. fn must be fast;
+// it runs on the hot path.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *sessionOptions) { o.progress = fn }
+}
+
+// WithProgressEvery adjusts the WithProgress cadence to every n frames.
+func WithProgressEvery(n uint64) Option {
+	return func(o *sessionOptions) {
+		if n > 0 {
+			o.progressEvery = n
+		}
+	}
+}
+
+// WithPcapTee mirrors every frame the session processes into a pcap file
+// at path — the capture-now-decode-later workflow. Replaying the file
+// with a PcapSource reproduces the session's record stream exactly.
+func WithPcapTee(path string) Option {
+	return func(o *sessionOptions) { o.pcapTee = path }
+}
+
+// WithServerIP sets the captured server's address, which classifies
+// record direction (towards it = query). SimSource supplies this
+// automatically; pcap replay and live capture must provide it.
+func WithServerIP(ip uint32) Option {
+	return func(o *sessionOptions) {
+		o.serverIP = ip
+		o.haveServerIP = true
+	}
+}
+
+// WithFileBytePair selects the fileID anonymisation bucket bytes
+// (default 5,11 — the paper's fix for the polluted first-two-bytes
+// layout).
+func WithFileBytePair(a, b int) Option {
+	return func(o *sessionOptions) {
+		o.bytePair = [2]int{a, b}
+		o.haveBytePair = true
+	}
+}
+
+// WithQueueDepth bounds the frame channel between the source and the
+// pipeline stage (default 1024 frames). A deeper queue absorbs burstier
+// sources at the cost of memory.
+func WithQueueDepth(n int) Option {
+	return func(o *sessionOptions) {
+		if n > 0 {
+			o.queueDepth = n
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package edtrace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"edtrace/internal/analysis"
+	"edtrace/internal/core"
+	"edtrace/internal/dataset"
+	"edtrace/internal/pcap"
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+// Result bundles everything a capture session produces, uniformly across
+// the three capture modes.
+type Result struct {
+	// Report carries the headline counters (the paper's abstract/§2).
+	// World-layer fields (server and swarm statistics) are only filled by
+	// SimSource runs; pcap replay and live capture leave them zero.
+	Report *core.Report
+	// Figures are the regenerated distributions (nil unless WithFigures
+	// was given).
+	Figures *analysis.Figures
+	// Fig2 is the capture-loss series; Fig3 the anonymisation-bucket
+	// analysis. Both are always non-nil (empty when the source tracks no
+	// losses).
+	Fig2 *analysis.Fig2
+	Fig3 *analysis.Fig3
+}
+
+// teeSink fans records out to several sinks.
+type teeSink struct{ sinks []core.RecordSink }
+
+func (t teeSink) Write(r *xmlenc.Record) error {
+	for _, s := range t.sinks {
+		if err := s.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frameItem is one frame in flight between the source and the pipeline.
+type frameItem struct {
+	t    simtime.Time
+	data []byte
+}
+
+// Session runs one capture: a Source streams timestamped ethernet frames
+// through a bounded channel into the decode → anonymise → store pipeline
+// (the paper's Figure 1), with figures, dataset storage, pcap teeing and
+// progress reporting attached via options.
+//
+// The source and the pipeline run concurrently; the channel bounds how
+// far the source may run ahead of the decoder, giving natural
+// backpressure. A Session is single-use: build one per run.
+type Session struct {
+	src Source
+	o   sessionOptions
+	ran atomic.Bool
+}
+
+// NewSession builds a session over src with the given options.
+func NewSession(src Source, opts ...Option) *Session {
+	s := &Session{src: src}
+	s.o.progressEvery = 8192
+	s.o.queueDepth = 1024
+	for _, opt := range opts {
+		opt(&s.o)
+	}
+	return s
+}
+
+// Run executes the session until the source is exhausted, ctx is
+// cancelled, or a stage fails. On every exit path — success, error, or
+// cancellation — the dataset writer and pcap tee are flushed and closed,
+// so a partial capture is still a valid dataset. Exactly one of the
+// result and the error is non-nil.
+func (s *Session) Run(ctx context.Context) (res *Result, err error) {
+	if s.src == nil {
+		return nil, errors.New("edtrace: session has no source")
+	}
+	if s.ran.Swap(true) {
+		return nil, errors.New("edtrace: session already ran")
+	}
+	// Registered first so it runs after the close defers below: if a
+	// flush fails, the caller gets (nil, err), never a result whose
+	// dataset is not durably on disk.
+	defer func() {
+		if err != nil {
+			res = nil
+		}
+	}()
+	serverIP, bytePair, cfgErr := s.pipelineConfig()
+	if cfgErr != nil {
+		return nil, cfgErr
+	}
+
+	sinks := append([]core.RecordSink(nil), s.o.sinks...)
+	var collector *analysis.Collector
+	if s.o.figures {
+		collector = analysis.NewCollector()
+		sinks = append(sinks, collector)
+	}
+	var dw *dataset.Writer
+	if s.o.datasetDir != "" {
+		meta := map[string]string{
+			"server_ip": strconv.FormatUint(uint64(serverIP), 10),
+		}
+		if sim, ok := s.src.(*SimSource); ok {
+			meta["seed"] = strconv.FormatUint(sim.Config.Workload.Seed, 10)
+			meta["clients"] = strconv.Itoa(sim.Config.Workload.NumClients)
+			meta["files"] = strconv.Itoa(sim.Config.Workload.NumFiles)
+		}
+		var werr error
+		dw, werr = dataset.NewWriter(s.o.datasetDir, dataset.WriterOptions{
+			Compress: s.o.datasetGzip,
+			Meta:     meta,
+		})
+		if werr != nil {
+			return nil, werr
+		}
+		sinks = append(sinks, dw)
+	}
+	var sink core.RecordSink
+	switch len(sinks) {
+	case 0:
+		sink = core.DiscardSink{}
+	case 1:
+		sink = sinks[0]
+	default:
+		sink = teeSink{sinks}
+	}
+	pipe := core.NewPipeline(serverIP, bytePair, sink)
+	if dw != nil {
+		defer func() {
+			dw.SetCounters(pipe.ClientAnonymizer().Count(), pipe.FileAnonymizer().Count())
+			if cerr := dw.Close(); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("edtrace: closing dataset: %w", cerr))
+			}
+		}()
+	}
+	tee, closeTee, teeErr := s.openTee()
+	if teeErr != nil {
+		return nil, teeErr
+	}
+	if closeTee != nil {
+		defer func() {
+			if cerr := closeTee(); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("edtrace: closing pcap tee: %w", cerr))
+			}
+		}()
+	}
+
+	// Producer: the source fills a bounded channel; cancelling runCtx
+	// (user cancellation or a pipeline failure) unblocks it promptly.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	frames := make(chan frameItem, s.o.queueDepth)
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		prodErr <- s.src.Frames(runCtx, func(t simtime.Time, frame []byte) error {
+			if cerr := runCtx.Err(); cerr != nil {
+				return cerr
+			}
+			select {
+			case frames <- frameItem{t, frame}:
+				return nil
+			case <-runCtx.Done():
+				return runCtx.Err()
+			}
+		})
+	}()
+
+	// Consumer: the pipeline stage. Sequential today; the channel is the
+	// seam where sharding (fan-out by flow hash) slots in later.
+	start := time.Now()
+	var nframes uint64
+	var lastT, lastExpire simtime.Time
+	var pipeErr error
+consume:
+	for {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				break consume
+			}
+			if tee != nil {
+				if werr := tee.Write(pcap.RecordAt(f.t, f.data)); werr != nil {
+					pipeErr = werr
+					cancel()
+					break consume
+				}
+			}
+			if perr := pipe.ProcessFrame(f.t, f.data); perr != nil {
+				pipeErr = perr
+				cancel()
+				break consume
+			}
+			nframes++
+			lastT = f.t
+			if f.t-lastExpire > simtime.Minute {
+				pipe.ExpireReassembly(f.t)
+				lastExpire = f.t
+			}
+			if s.o.progress != nil && nframes%s.o.progressEvery == 0 {
+				s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: f.t})
+			}
+		case <-ctx.Done():
+			pipeErr = ctx.Err()
+			cancel()
+			break consume
+		}
+	}
+	perr := <-prodErr
+	if pipeErr != nil {
+		return nil, pipeErr
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	if s.o.progress != nil {
+		s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: lastT})
+	}
+
+	rep := &core.Report{
+		WallClock:       time.Since(start),
+		Pipeline:        pipe.Stats(),
+		DistinctClients: pipe.ClientAnonymizer().Count(),
+		DistinctFiles:   pipe.FileAnonymizer().Count(),
+		BucketSizes:     pipe.FileAnonymizer().BucketSizes(),
+	}
+	rep.MaxBucketIdx, rep.MaxBucketSize = pipe.FileAnonymizer().MaxBucket()
+	if cr, ok := s.src.(captureReporter); ok {
+		cr.reportCapture(rep)
+	}
+	res = &Result{
+		Report: rep,
+		Fig2:   analysis.NewFig2(rep.LossPerSecond),
+		Fig3:   analysis.NewFig3(rep.BucketSizes),
+	}
+	if collector != nil {
+		res.Figures = collector.Finalize()
+	}
+	return res, nil
+}
+
+// pipelineConfig resolves the pipeline knobs: explicit options win, then
+// source-supplied defaults (SimSource knows its own server), then the
+// paper's byte pair.
+func (s *Session) pipelineConfig() (uint32, [2]int, error) {
+	serverIP, bytePair := s.o.serverIP, s.o.bytePair
+	haveIP, havePair := s.o.haveServerIP, s.o.haveBytePair
+	if pd, ok := s.src.(pipelineDefaulter); ok {
+		if dIP, dPair, ok := pd.pipelineDefaults(); ok {
+			if !haveIP {
+				serverIP = dIP
+			}
+			if !havePair {
+				bytePair = dPair
+			}
+			haveIP, havePair = true, true
+		}
+	}
+	if !haveIP {
+		return 0, [2]int{}, errors.New("edtrace: source does not identify the server; use WithServerIP")
+	}
+	if !havePair {
+		bytePair = [2]int{5, 11}
+	}
+	return serverIP, bytePair, nil
+}
+
+// openTee prepares the WithPcapTee writer, returning the writer and a
+// close function that flushes it.
+func (s *Session) openTee() (*pcap.Writer, func() error, error) {
+	if s.o.pcapTee == "" {
+		return nil, nil, nil
+	}
+	f, err := os.Create(s.o.pcapTee)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := pcap.NewWriter(f, 0)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, func() error {
+		if ferr := w.Flush(); ferr != nil {
+			f.Close()
+			return ferr
+		}
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,147 @@
+package edtrace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"edtrace/internal/core"
+	"edtrace/internal/pcap"
+	"edtrace/internal/simtime"
+)
+
+// EmitFunc receives one timestamped ethernet frame from a Source.
+// Ownership of the frame slice transfers to the consumer: the source
+// must not reuse or mutate it after emit returns (the Session forwards
+// it asynchronously). Returning an error (typically a cancelled context,
+// surfaced by the Session) tells the source to stop producing.
+type EmitFunc func(t simtime.Time, frame []byte) error
+
+// Source yields timestamped ethernet frames — the uniform input of the
+// capture pipeline, whether they come from the discrete-event simulator,
+// a stored pcap file, or a live socket. A Source is single-use: one
+// Frames call per value.
+type Source interface {
+	// Frames streams the whole capture into emit, stopping early when
+	// ctx is cancelled or emit returns an error (which Frames returns).
+	Frames(ctx context.Context, emit EmitFunc) error
+}
+
+// pipelineDefaulter is implemented by sources that know how the pipeline
+// observing them should be configured; explicit options take precedence.
+type pipelineDefaulter interface {
+	pipelineDefaults() (serverIP uint32, fileBytePair [2]int, ok bool)
+}
+
+// captureReporter is implemented by sources that can contribute
+// capture-layer counters (losses, world statistics) to the final report.
+type captureReporter interface {
+	reportCapture(*core.Report)
+}
+
+// SimSource runs the synthetic world (server, swarm, links, kernel
+// buffer) and yields the frames its capture machine drains — the paper's
+// whole measurement as a frame stream.
+type SimSource struct {
+	// Config is the full simulation configuration; its Sink field is
+	// ignored (records are routed by the Session).
+	Config core.SimConfig
+
+	rep *core.Report
+}
+
+// NewSimSource returns a simulator-backed source for cfg.
+func NewSimSource(cfg core.SimConfig) *SimSource {
+	return &SimSource{Config: cfg}
+}
+
+// Frames implements Source: it builds the world and runs it, forwarding
+// every drained frame to emit in deterministic order.
+func (s *SimSource) Frames(ctx context.Context, emit EmitFunc) error {
+	cfg := s.Config
+	cfg.Sink = nil // frames leave the world; records are the Session's job
+	w, err := core.NewSimWorld(cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := w.RunFrames(ctx, core.FrameFunc(emit))
+	s.rep = rep // surfaced via reportCapture when the session succeeds
+	return err
+}
+
+func (s *SimSource) pipelineDefaults() (uint32, [2]int, bool) {
+	return s.Config.ServerIP, s.Config.FileBytePair, true
+}
+
+func (s *SimSource) reportCapture(rep *core.Report) {
+	if s.rep == nil {
+		return
+	}
+	rep.VirtualDuration = s.rep.VirtualDuration
+	rep.EthernetCaptured = s.rep.EthernetCaptured
+	rep.EthernetDropped = s.rep.EthernetDropped
+	rep.LossPerSecond = s.rep.LossPerSecond
+	rep.ServerStats = s.rep.ServerStats
+	rep.SwarmStats = s.rep.SwarmStats
+	rep.FlashTimes = s.rep.FlashTimes
+}
+
+// PcapSource replays a stored pcap capture — offline decoding of a
+// finished capture, on the identical code path as live processing.
+type PcapSource struct {
+	// Path is the pcap file to replay.
+	Path string
+
+	frames      uint64
+	first, last simtime.Time
+	ran         bool
+}
+
+// NewPcapSource returns a source replaying the pcap file at path.
+func NewPcapSource(path string) *PcapSource {
+	return &PcapSource{Path: path}
+}
+
+// Frames implements Source. Like every source it is single-use: a
+// second call would silently accumulate stale counters, so it errors.
+func (p *PcapSource) Frames(ctx context.Context, emit EmitFunc) error {
+	if p.ran {
+		return errors.New("edtrace: PcapSource already ran")
+	}
+	p.ran = true
+	f, err := os.Open(p.Path)
+	if err != nil {
+		return fmt.Errorf("edtrace: %w", err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		t := rec.Time()
+		if err := emit(t, rec.Data); err != nil {
+			return err
+		}
+		if p.frames == 0 {
+			p.first = t
+		}
+		p.frames++
+		p.last = t
+	}
+}
+
+func (p *PcapSource) reportCapture(rep *core.Report) {
+	rep.EthernetCaptured = p.frames
+	// Span, not absolute end: real captures carry Unix-epoch timestamps.
+	rep.VirtualDuration = p.last - p.first
+}
