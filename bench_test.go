@@ -12,7 +12,10 @@ package edtrace
 //	BenchmarkFig8FileSizes    — size histogram + CD-size peak matching
 //	BenchmarkAblation*        — the paper's data-structure arguments
 //	BenchmarkDecodeThroughput / BenchmarkPipeline — the real-time claim
-//	BenchmarkSessionPipeline  — the Session hot path (bounded channel)
+//	BenchmarkSessionPipeline  — the Session hot path (batched channel)
+//	BenchmarkDaemonLoad       — edload swarm → edserverd over real TCP
+//	(BenchmarkServerHandle, in internal/server, isolates the sharded
+//	index under parallel load)
 //
 // Figure benches share one simulated capture (built once), so -bench=.
 // stays minutes, not hours. Numbers land in bench_output.txt and are
@@ -22,12 +25,15 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"edtrace/internal/analysis"
 	"edtrace/internal/anonymize"
 	"edtrace/internal/clients"
 	"edtrace/internal/core"
 	"edtrace/internal/ed2k"
+	"edtrace/internal/edload"
+	"edtrace/internal/edserverd"
 	"edtrace/internal/netsim"
 	"edtrace/internal/randx"
 	"edtrace/internal/simtime"
@@ -45,12 +51,13 @@ var benchWorld struct {
 func sharedRun(b *testing.B) *Result {
 	b.Helper()
 	benchWorld.once.Do(func() {
-		cfg := DefaultConfig()
-		cfg.Sim.Workload.NumClients = 6000
-		cfg.Sim.Workload.NumFiles = 60000
-		cfg.Sim.Traffic.Duration = 2 * simtime.Day
-		cfg.Sim.Traffic.FlashCrowds = 2
-		benchWorld.res, benchWorld.err = Run(cfg)
+		sim := core.DefaultSimConfig()
+		sim.Workload.NumClients = 6000
+		sim.Workload.NumFiles = 60000
+		sim.Traffic.Duration = 2 * simtime.Day
+		sim.Traffic.FlashCrowds = 2
+		benchWorld.res, benchWorld.err = NewSession(NewSimSource(sim), WithFigures()).
+			Run(context.Background())
 	})
 	if benchWorld.err != nil {
 		b.Fatal(benchWorld.err)
@@ -82,18 +89,17 @@ func BenchmarkTable1Headline(b *testing.B) {
 func BenchmarkFig2CaptureLoss(b *testing.B) {
 	var fig *analysis.Fig2
 	for i := 0; i < b.N; i++ {
-		cfg := DefaultConfig()
-		cfg.CollectFigures = false
-		cfg.Sim.Workload.NumClients = 2500
-		cfg.Sim.Workload.NumFiles = 20000
-		cfg.Sim.Traffic.Duration = 12 * simtime.Hour
-		cfg.Sim.Traffic.FlashCrowds = 3
-		cfg.Sim.Traffic.FlashParticipants = 0.6
-		cfg.Sim.Traffic.FlashDuration = 30 * simtime.Second
-		cfg.Sim.KernelBufferBytes = 4 << 10
-		cfg.Sim.ServicePerPoll = 2
-		cfg.Sim.PollInterval = 50 * simtime.Millisecond
-		res, err := Run(cfg)
+		sim := core.DefaultSimConfig()
+		sim.Workload.NumClients = 2500
+		sim.Workload.NumFiles = 20000
+		sim.Traffic.Duration = 12 * simtime.Hour
+		sim.Traffic.FlashCrowds = 3
+		sim.Traffic.FlashParticipants = 0.6
+		sim.Traffic.FlashDuration = 30 * simtime.Second
+		sim.KernelBufferBytes = 4 << 10
+		sim.ServicePerPoll = 2
+		sim.PollInterval = 50 * simtime.Millisecond
+		res, err := NewSession(NewSimSource(sim)).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -401,8 +407,9 @@ func BenchmarkPipeline(b *testing.B) {
 // harness for measuring the Session hot path in isolation. Re-emitting
 // the same slices bends EmitFunc's ownership rule, which is safe only
 // because the pool (4096) exceeds the session's maximum in-flight
-// window (queue depth 1024 + 2): by the time a slice is emitted again,
-// the pipeline has long finished with it, and without a tee the
+// window (queue depth 1024 + the producer's partial batch and the
+// consumer's current batch, 128 each): by the time a slice is emitted
+// again, the pipeline has long finished with it, and without a tee the
 // pipeline neither retains nor mutates frames.
 type replaySource struct {
 	frames [][]byte
@@ -464,6 +471,40 @@ func BenchmarkTCPReconstruction(b *testing.B) {
 			b.ReportMetric(float64(res.Stats.GapStalls), "gap_stalls")
 		})
 	}
+}
+
+// BenchmarkDaemonLoad measures the real deployment end to end: an
+// edserverd daemon on loopback TCP under an edload client swarm, in
+// round-trip messages per second (every answer verified in lockstep).
+// The paper's server averaged ~1570 messages/second over ten weeks.
+func BenchmarkDaemonLoad(b *testing.B) {
+	d, err := edserverd.Start(edserverd.Config{UDPAddr: "off"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+	var sent, answers uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := edload.Run(context.Background(), edload.Config{
+			Addr:                 d.TCPAddr().String(),
+			Clients:              100,
+			Workload:             edload.DefaultWorkload(uint64(i+1), 100),
+			Traffic:              clients.DefaultTraffic(),
+			MaxMessagesPerClient: 50,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += st.Sent
+		answers += st.Answers
+	}
+	b.ReportMetric(float64(sent+answers)/2/b.Elapsed().Seconds(), "msgs/s")
+	b.ReportMetric(float64(sent)/float64(b.N), "msgs/swarm")
 }
 
 // BenchmarkSimulatorEventRate measures the discrete-event engine itself:

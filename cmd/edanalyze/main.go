@@ -90,11 +90,12 @@ func main() {
 			fmt.Printf("verified: all spec invariants hold over %d records\n", rep.Records)
 		}
 
-		figs, err = edtrace.AnalyzeDataset(*in)
-		if err != nil {
+		c := analysis.NewCollector()
+		if err := dataset.ForEach(*in, c.Write); err != nil {
 			fmt.Fprintln(os.Stderr, "edanalyze:", err)
 			os.Exit(1)
 		}
+		figs = c.Finalize()
 	}
 	fmt.Print(figs.Render())
 

@@ -19,6 +19,7 @@ import (
 	"os/signal"
 
 	"edtrace"
+	"edtrace/internal/core"
 	"edtrace/internal/simtime"
 )
 
@@ -38,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 
-	sim := edtrace.DefaultConfig().Sim
+	sim := core.DefaultSimConfig()
 	sim.Workload.Seed = *seed
 	sim.Workload.NumClients = *clientsN
 	sim.Workload.NumFiles = *filesN

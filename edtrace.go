@@ -2,90 +2,32 @@
 // server" (Aidouni, Latapy, Magnien; arXiv:0809.3415): a complete
 // measurement infrastructure for eDonkey directory-server traffic —
 // capture, real-time decoding, anonymisation, XML dataset storage — plus
-// the synthetic server/client world it observes and the analyses that
-// regenerate every figure of the paper.
+// the synthetic server/client world it observes, a real concurrent
+// server daemon (internal/edserverd) with a TCP load generator
+// (internal/edload), and the analyses that regenerate every figure of
+// the paper.
 //
 // The public API is built around two concepts:
 //
-//   - A Source yields timestamped ethernet frames. Three implementations
-//     cover the paper's settings: SimSource (the discrete-event world),
-//     PcapSource (offline replay of a stored capture), and LiveSource
-//     (real UDP traffic mirrored from a server socket).
+//   - A Source yields timestamped ethernet frames. Four implementations
+//     cover the paper's settings and one more: SimSource (the
+//     discrete-event world), PcapSource (offline replay of a stored
+//     capture), LiveSource (real UDP traffic mirrored from a server
+//     socket), and ServerSource (self-capture of a running edserverd
+//     daemon's accepted traffic).
 //   - A Session drives any Source through the capture pipeline of the
 //     paper's Figure 1 — decode, anonymise, store — configured with
 //     functional options (WithDataset, WithFigures, WithSink,
-//     WithProgress, WithPcapTee, ...) and executed by Session.Run(ctx),
-//     which honours cancellation and closes every sink on every exit
-//     path.
+//     WithProgress, WithPcapTee, WithBatchSize, ...) and executed by
+//     Session.Run(ctx), which honours cancellation and closes every
+//     sink on every exit path.
 //
 // The minimal run:
 //
 //	src := edtrace.NewSimSource(core.DefaultSimConfig())
 //	res, err := edtrace.NewSession(src, edtrace.WithFigures()).Run(ctx)
 //
-// See README.md for the quickstart and the migration table from the old
-// Run(Config) entry point, examples/ for runnable programs, and
+// See README.md for the quickstart (including the daemon + load
+// generator + self-capture loop), examples/ for runnable programs, and
 // EXPERIMENTS.md for the paper-vs-measured record.
 package edtrace
-
-import (
-	"context"
-
-	"edtrace/internal/analysis"
-	"edtrace/internal/core"
-	"edtrace/internal/dataset"
-)
-
-// Config describes one capture experiment.
-//
-// Deprecated: Config only covers the simulator mode. Build a Session
-// over a Source instead; see the package documentation. Retained for one
-// release as a shim.
-type Config struct {
-	// Sim is the full simulation configuration (world, traffic, capture
-	// machine). Start from DefaultConfig().Sim.
-	Sim core.SimConfig
-	// DatasetDir, when set, streams the anonymised XML dataset there.
-	DatasetDir string
-	// Compress gzips the dataset chunks.
-	Compress bool
-	// CollectFigures computes the paper's figures online during the run.
-	CollectFigures bool
-}
-
-// DefaultConfig returns a laptop-scale experiment with figure collection
-// enabled.
-func DefaultConfig() Config {
-	return Config{Sim: core.DefaultSimConfig(), CollectFigures: true}
-}
-
-// Run executes the experiment.
-//
-// Deprecated: use NewSession(NewSimSource(cfg.Sim), opts...).Run(ctx),
-// which adds cancellation, progress reporting and pcap teeing, and works
-// identically for pcap replay and live capture. Run is a thin shim over
-// Session and will be removed in the next release.
-func Run(cfg Config) (*Result, error) {
-	opts := []Option{WithSink(cfg.Sim.Sink)}
-	if cfg.CollectFigures {
-		opts = append(opts, WithFigures())
-	}
-	if cfg.DatasetDir != "" {
-		opts = append(opts, WithDataset(cfg.DatasetDir, cfg.Compress))
-	}
-	return NewSession(NewSimSource(cfg.Sim), opts...).Run(context.Background())
-}
-
-// AnalyzeDataset streams a stored dataset and recomputes the figures.
-//
-// Deprecated: compose analysis.NewCollector with dataset.ForEach (this
-// function's two lines) for control over collection, or keep calling it
-// for the common case; it will move to the analysis layer in the next
-// release.
-func AnalyzeDataset(dir string) (*analysis.Figures, error) {
-	c := analysis.NewCollector()
-	if err := dataset.ForEach(dir, c.Write); err != nil {
-		return nil, err
-	}
-	return c.Finalize(), nil
-}

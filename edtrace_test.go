@@ -1,29 +1,37 @@
 package edtrace
 
 import (
+	"context"
 	"testing"
 
 	"edtrace/internal/analysis"
+	"edtrace/internal/core"
 	"edtrace/internal/dataset"
 	"edtrace/internal/simtime"
 	"edtrace/internal/xmlenc"
 )
 
-func tinyConfig() Config {
-	cfg := DefaultConfig()
-	cfg.Sim.Workload.NumClients = 300
-	cfg.Sim.Workload.NumFiles = 3000
-	cfg.Sim.Workload.VocabWords = 300
-	cfg.Sim.Traffic.Duration = 3 * simtime.Hour
-	cfg.Sim.Traffic.FlashCrowds = 1
-	return cfg
+func tinySim() core.SimConfig {
+	sim := core.DefaultSimConfig()
+	sim.Workload.NumClients = 300
+	sim.Workload.NumFiles = 3000
+	sim.Workload.VocabWords = 300
+	sim.Traffic.Duration = 3 * simtime.Hour
+	sim.Traffic.FlashCrowds = 1
+	return sim
 }
 
-func TestRunCollectsFigures(t *testing.T) {
-	res, err := Run(tinyConfig())
+func runSim(t *testing.T, sim core.SimConfig, opts ...Option) *Result {
+	t.Helper()
+	res, err := NewSession(NewSimSource(sim), opts...).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	return res
+}
+
+func TestSessionCollectsFigures(t *testing.T) {
+	res := runSim(t, tinySim(), WithFigures())
 	if res.Figures == nil {
 		t.Fatal("figures not collected")
 	}
@@ -41,16 +49,11 @@ func TestRunCollectsFigures(t *testing.T) {
 	}
 }
 
-func TestRunWritesDatasetAndAnalyzeMatches(t *testing.T) {
-	cfg := tinyConfig()
-	cfg.DatasetDir = t.TempDir()
-	cfg.Compress = true
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestSessionWritesDatasetAndOfflineAnalysisMatches(t *testing.T) {
+	dir := t.TempDir()
+	res := runSim(t, tinySim(), WithFigures(), WithDataset(dir, true))
 
-	man, err := dataset.Open(cfg.DatasetDir)
+	man, err := dataset.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,10 +66,11 @@ func TestRunWritesDatasetAndAnalyzeMatches(t *testing.T) {
 
 	// Offline analysis of the stored dataset must reproduce the online
 	// figures exactly.
-	figs, err := AnalyzeDataset(cfg.DatasetDir)
-	if err != nil {
+	c := analysis.NewCollector()
+	if err := dataset.ForEach(dir, c.Write); err != nil {
 		t.Fatal(err)
 	}
+	figs := c.Finalize()
 	for name, pair := range map[string][2]uint64{
 		"fig4": {figs.Fig4.N(), res.Figures.Fig4.N()},
 		"fig5": {figs.Fig5.N(), res.Figures.Fig5.N()},
@@ -86,12 +90,9 @@ func TestRunWritesDatasetAndAnalyzeMatches(t *testing.T) {
 func TestProducedDatasetPassesVerification(t *testing.T) {
 	// The pipeline's own output must satisfy every invariant the spec
 	// promises consumers (dense IDs, monotone t, hex hashes, known ops).
-	cfg := tinyConfig()
-	cfg.DatasetDir = t.TempDir()
-	if _, err := Run(cfg); err != nil {
-		t.Fatal(err)
-	}
-	rep, err := dataset.Verify(cfg.DatasetDir)
+	dir := t.TempDir()
+	runSim(t, tinySim(), WithDataset(dir, false))
+	rep, err := dataset.Verify(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +104,9 @@ func TestProducedDatasetPassesVerification(t *testing.T) {
 	}
 }
 
-func TestAnalyzeDatasetMissingDir(t *testing.T) {
-	if _, err := AnalyzeDataset("/nonexistent/nowhere"); err == nil {
+func TestDatasetForEachMissingDir(t *testing.T) {
+	c := analysis.NewCollector()
+	if err := dataset.ForEach("/nonexistent/nowhere", c.Write); err == nil {
 		t.Fatal("missing dataset accepted")
 	}
 }
@@ -114,14 +116,10 @@ func TestTemporalAnalysisRecoversDiurnalProfile(t *testing.T) {
 	// folding a one-day run onto 24 hours has to show more activity in
 	// the injected peak half-day than in the trough half-day.
 	tc := analysis.NewTemporalCollector(3600)
-	cfg := tinyConfig()
-	cfg.Sim.Traffic.Duration = simtime.Day
-	cfg.Sim.Traffic.DiurnalAmplitude = 0.8
-	cfg.CollectFigures = false
-	cfg.Sim.Sink = tc
-	if _, err := Run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	sim := tinySim()
+	sim.Traffic.Duration = simtime.Day
+	sim.Traffic.DiurnalAmplitude = 0.8
+	runSim(t, sim, WithSink(tc))
 	prof := tc.DiurnalProfile()
 	var peak, trough float64
 	for h := 0; h < 12; h++ {
@@ -141,16 +139,11 @@ type countSink struct{ n int }
 
 func (c *countSink) Write(*xmlenc.Record) error { c.n++; return nil }
 
-func TestRunPreservesCallerSink(t *testing.T) {
+func TestSessionPreservesCallerSink(t *testing.T) {
 	// A caller-provided sink must keep receiving records even when the
 	// figure collector is also active.
 	sink := &countSink{}
-	cfg := tinyConfig()
-	cfg.Sim.Sink = sink
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runSim(t, tinySim(), WithSink(sink), WithFigures())
 	if sink.n == 0 {
 		t.Fatal("caller sink starved")
 	}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"edtrace"
+	"edtrace/internal/core"
 	"edtrace/internal/simtime"
 	"edtrace/internal/xmlenc"
 )
@@ -53,7 +54,7 @@ func main() {
 		askers:    make(map[uint32]map[uint32]struct{}),
 		providers: make(map[uint32]map[uint32]struct{}),
 	}
-	sim := edtrace.DefaultConfig().Sim
+	sim := core.DefaultSimConfig()
 	sim.Workload.NumClients = 3000
 	sim.Workload.NumFiles = 20000
 	sim.Traffic.Duration = simtime.Day

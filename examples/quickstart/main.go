@@ -9,12 +9,13 @@ import (
 	"log"
 
 	"edtrace"
+	"edtrace/internal/core"
 	"edtrace/internal/simtime"
 	"edtrace/internal/stats"
 )
 
 func main() {
-	sim := edtrace.DefaultConfig().Sim
+	sim := core.DefaultSimConfig()
 	// Keep the quickstart quick: a small town, one virtual day.
 	sim.Workload.NumClients = 2000
 	sim.Workload.NumFiles = 15000

@@ -1,0 +1,132 @@
+package clients
+
+import (
+	"edtrace/internal/ed2k"
+	"edtrace/internal/randx"
+	"edtrace/internal/workload"
+)
+
+// Planner materialises one client's behavioural plan as an ordered ed2k
+// message list — the same traffic mix the Swarm schedules on the virtual
+// clock, but without the clock, for load generators (cmd/edload) that
+// replay it over real TCP connections as fast as the server accepts it.
+//
+// A Planner is immutable and safe for concurrent Messages calls; all
+// randomness comes from the caller-supplied per-client Rand.
+type Planner struct {
+	cat *workload.Catalog
+	tc  TrafficConfig
+}
+
+// NewPlanner wires a planner over the catalog with the given traffic
+// shaping (OfferBatch, AsksPerMessage, ScannerUnknownShare are used;
+// the time-domain fields are ignored).
+func NewPlanner(cat *workload.Catalog, tc TrafficConfig) *Planner {
+	return &Planner{cat: cat, tc: tc}
+}
+
+// Messages builds the ordered message list for one client: the shared
+// folder announced first (in OfferBatch-sized batches, like a session
+// start), then source asks and keyword searches interleaved. maxMsgs
+// bounds the list (<= 0 means unbounded) so heavy profiles — a scanner's
+// ask plan can run to six figures — stay affordable in a load test.
+func (p *Planner) Messages(c *workload.Client, r *randx.Rand, maxMsgs int) []ed2k.Message {
+	var out []ed2k.Message
+	room := func() bool { return maxMsgs <= 0 || len(out) < maxMsgs }
+
+	// Announcements: the shared folder in batches.
+	for off := 0; off < len(c.Shares) && room(); {
+		batch := p.tc.OfferBatch
+		if off+batch > len(c.Shares) {
+			batch = len(c.Shares) - off
+		}
+		msg := &ed2k.OfferFiles{Client: edID(c), Port: 4662}
+		for _, fi := range c.Shares[off : off+batch] {
+			f := &p.cat.Files[fi]
+			msg.Files = append(msg.Files, ed2k.FileEntry{
+				ID:     f.ID,
+				Client: edID(c),
+				Port:   4662,
+				Tags: []ed2k.Tag{
+					ed2k.StringTag(ed2k.FTFileName, f.Name),
+					ed2k.UintTag(ed2k.FTFileSize, f.Size),
+					ed2k.StringTag(ed2k.FTFileType, f.Type),
+				},
+			})
+		}
+		off += batch
+		out = append(out, msg)
+	}
+
+	// The distinct ask list, sampled exactly like Swarm.scheduleClient
+	// (scanners probe unindexed fileIDs at ScannerUnknownShare).
+	scanner := c.Profile == workload.Scanner
+	askList := make([]int32, 0, c.AskCount)
+	seen := make(map[int32]struct{}, c.AskCount)
+	for tries := 0; len(askList) < c.AskCount && tries < c.AskCount*4; tries++ {
+		if scanner && r.Bool(p.tc.ScannerUnknownShare) {
+			askList = append(askList, -1)
+			continue
+		}
+		f := int32(p.cat.SampleAsk(r))
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		askList = append(askList, f)
+	}
+
+	// Interleave ask batches and searches in ask:search proportion.
+	zipf := randx.NewZipf(r.Split(99), 1.4, 2, uint64(len(p.cat.Vocab())-1))
+	searches := c.SearchCount
+	for (len(askList) > 0 || searches > 0) && room() {
+		if len(askList) > 0 && (searches == 0 || !r.Bool(0.2)) {
+			batch := 1 + r.IntN(p.tc.AsksPerMessage)
+			if batch > len(askList) {
+				batch = len(askList)
+			}
+			msg := &ed2k.GetSources{}
+			for _, f := range askList[:batch] {
+				if f < 0 {
+					msg.Hashes = append(msg.Hashes, randomFileID(r))
+				} else {
+					msg.Hashes = append(msg.Hashes, p.cat.Files[f].ID)
+				}
+			}
+			askList = askList[batch:]
+			out = append(out, msg)
+		} else {
+			out = append(out, &ed2k.SearchReq{Expr: randomSearchExpr(p.cat, zipf, r)})
+			searches--
+		}
+	}
+	return out
+}
+
+// edID is the ed2k-level clientID: the IP for reachable clients, a
+// server-assigned number below 2^24 otherwise.
+func edID(c *workload.Client) ed2k.ClientID {
+	if c.LowID {
+		return ed2k.ClientID(c.IP % ed2k.LowIDThreshold)
+	}
+	return ed2k.ClientID(c.IP)
+}
+
+// randomSearchExpr draws one keyword search from the catalog vocabulary
+// with Zipf-popular words, optionally constrained by size or type — the
+// query mix §3 analyses.
+func randomSearchExpr(cat *workload.Catalog, zipf *randx.Zipf, r *randx.Rand) *ed2k.SearchExpr {
+	vocab := cat.Vocab()
+	expr := ed2k.Keyword(vocab[int(zipf.Uint64())%len(vocab)])
+	words := r.IntN(3)
+	for i := 0; i < words; i++ {
+		expr = ed2k.And(expr, ed2k.Keyword(vocab[int(zipf.Uint64())%len(vocab)]))
+	}
+	if r.Bool(0.2) {
+		expr = ed2k.And(expr, ed2k.SizeAtLeast(uint32(1+r.IntN(600))<<20))
+	}
+	if r.Bool(0.1) {
+		expr = ed2k.And(expr, ed2k.TypeIs("Audio"))
+	}
+	return expr
+}

@@ -343,29 +343,10 @@ func (s *Swarm) scheduleOffers(c *workload.Client, r *randx.Rand, start simtime.
 	}
 }
 
-// edID is the ed2k-level clientID: the IP for reachable clients, a
-// server-assigned number below 2^24 otherwise.
-func (s *Swarm) edID(c *workload.Client) ed2k.ClientID {
-	if c.LowID {
-		return ed2k.ClientID(c.IP % ed2k.LowIDThreshold)
-	}
-	return ed2k.ClientID(c.IP)
-}
+func (s *Swarm) edID(c *workload.Client) ed2k.ClientID { return edID(c) }
 
 func (s *Swarm) randomSearch(r *randx.Rand) *ed2k.SearchExpr {
-	vocab := s.cat.Vocab()
-	expr := ed2k.Keyword(vocab[int(s.zipf.Uint64())%len(vocab)])
-	words := r.IntN(3)
-	for i := 0; i < words; i++ {
-		expr = ed2k.And(expr, ed2k.Keyword(vocab[int(s.zipf.Uint64())%len(vocab)]))
-	}
-	if r.Bool(0.2) {
-		expr = ed2k.And(expr, ed2k.SizeAtLeast(uint32(1+r.IntN(600))<<20))
-	}
-	if r.Bool(0.1) {
-		expr = ed2k.And(expr, ed2k.TypeIs("Audio"))
-	}
-	return expr
+	return randomSearchExpr(s.cat, s.zipf, r)
 }
 
 func randomFileID(r *randx.Rand) ed2k.FileID {

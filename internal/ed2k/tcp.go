@@ -164,6 +164,84 @@ func ParseTCPStream(stream []byte) (msgs []Message, consumed int, err error) {
 	}
 }
 
+// StreamReader incrementally parses ed2k TCP frames from an io.Reader —
+// the read side of one server⇄client session. It tolerates arbitrary
+// segmentation (a frame may arrive one byte at a time, or many frames in
+// one read) and bounds buffering at MaxTCPFrame, so a peer claiming a
+// gigantic frame cannot balloon server memory. Errors are sticky: a
+// stream that produced garbage once is dead, exactly how a real server
+// treats a desynchronised TCP session.
+type StreamReader struct {
+	r       io.Reader
+	buf     []byte
+	start   int // parse resumes here
+	end     int // valid bytes end here
+	pending []Message
+	err     error
+}
+
+// NewStreamReader returns a frame reader over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: r, buf: make([]byte, 4096)}
+}
+
+// Next returns the next complete message from the stream. It returns
+// io.EOF on a clean end-of-stream (between frames) and
+// io.ErrUnexpectedEOF when the stream ends mid-frame.
+func (sr *StreamReader) Next() (Message, error) {
+	for {
+		if len(sr.pending) > 0 {
+			m := sr.pending[0]
+			sr.pending = sr.pending[1:]
+			return m, nil
+		}
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		msgs, consumed, perr := ParseTCPStream(sr.buf[sr.start:sr.end])
+		sr.start += consumed
+		if perr != nil {
+			sr.err = perr
+		}
+		if len(msgs) > 0 {
+			sr.pending = msgs
+			continue
+		}
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		// No complete frame buffered: make room, then read more.
+		if sr.start > 0 && (sr.end == len(sr.buf) || sr.start == sr.end) {
+			sr.end = copy(sr.buf, sr.buf[sr.start:sr.end])
+			sr.start = 0
+		}
+		if sr.end == len(sr.buf) {
+			if len(sr.buf) >= MaxTCPFrame+6 {
+				// ParseTCPStream rejects length claims above MaxTCPFrame
+				// before this can trigger; defence in depth.
+				sr.err = structuralf("TCP frame exceeds %d bytes", MaxTCPFrame)
+				return nil, sr.err
+			}
+			grown := make([]byte, min(2*len(sr.buf), MaxTCPFrame+6))
+			sr.end = copy(grown, sr.buf[:sr.end])
+			sr.buf = grown
+		}
+		n, rerr := sr.r.Read(sr.buf[sr.end:])
+		sr.end += n
+		if n > 0 {
+			continue // parse what arrived before surfacing any read error
+		}
+		if rerr == nil {
+			continue
+		}
+		if rerr == io.EOF && sr.start != sr.end {
+			rerr = io.ErrUnexpectedEOF // stream died mid-frame
+		}
+		sr.err = rerr
+		return nil, sr.err
+	}
+}
+
 // decodeTCPBody decodes one frame body (already inflated).
 func decodeTCPBody(op byte, payload []byte) (Message, error) {
 	switch op {

@@ -1,9 +1,13 @@
 package ed2k
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
+	"io"
 	"reflect"
 	"testing"
+	"testing/iotest"
 	"testing/quick"
 )
 
@@ -153,5 +157,134 @@ func TestQuickFrameStreamRoundtrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// streamOf concatenates framed messages into one byte stream.
+func streamOf(msgs ...Message) []byte {
+	var stream []byte
+	for _, m := range msgs {
+		stream = append(stream, FrameTCP(m)...)
+	}
+	return stream
+}
+
+func TestStreamReaderPartialReads(t *testing.T) {
+	msgs := []Message{
+		&LoginRequest{Hash: FileID{1}, Client: 5, Port: 4662, Nick: "slow"},
+		&StatReq{Challenge: 11},
+		&OfferFiles{Client: 5, Port: 4662, Files: []FileEntry{sampleEntry(3)}},
+		&GetSources{Hashes: []FileID{{9}, {8}}},
+	}
+	// One byte per Read: every frame arrives maximally fragmented.
+	sr := NewStreamReader(iotest.OneByteReader(bytes.NewReader(streamOf(msgs...))))
+	for i, want := range msgs {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Errorf("message %d:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("after stream end: %v, want io.EOF", err)
+	}
+	// Errors (even EOF) are sticky.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("second read after end: %v", err)
+	}
+}
+
+func TestStreamReaderBurstAndHalfFrames(t *testing.T) {
+	stream := streamOf(&StatReq{Challenge: 1}, &StatReq{Challenge: 2}, &StatReq{Challenge: 3})
+	// Deliver in two reads cutting mid-second-frame.
+	cut := len(stream)/3 + 2
+	sr := NewStreamReader(io.MultiReader(
+		bytes.NewReader(stream[:cut]), bytes.NewReader(stream[cut:])))
+	for want := uint32(1); want <= 3; want++ {
+		m, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.(*StatReq).Challenge != want {
+			t.Fatalf("challenge = %d, want %d", m.(*StatReq).Challenge, want)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("end: %v", err)
+	}
+}
+
+func TestStreamReaderGarbageHeader(t *testing.T) {
+	// A valid frame followed by junk: the first message parses, then the
+	// stream dies with a structural error — which is sticky.
+	stream := append(streamOf(&StatReq{Challenge: 7}), 0xAB, 0xCD, 0xEF, 0x01, 0x02, 0x03)
+	sr := NewStreamReader(bytes.NewReader(stream))
+	if m, err := sr.Next(); err != nil || m.(*StatReq).Challenge != 7 {
+		t.Fatalf("first message: %v %v", m, err)
+	}
+	if _, err := sr.Next(); !errors.Is(err, ErrStructural) {
+		t.Fatalf("garbage header: %v, want structural", err)
+	}
+	if _, err := sr.Next(); !errors.Is(err, ErrStructural) {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+func TestStreamReaderOversizedFrame(t *testing.T) {
+	// A header claiming a frame over MaxTCPFrame must be rejected from
+	// the header alone — before any buffering of the giant body.
+	huge := []byte{ProtoEDonkey, 0, 0, 0, 0, 0x96}
+	binary.LittleEndian.PutUint32(huge[1:], MaxTCPFrame+1)
+	sr := NewStreamReader(bytes.NewReader(huge))
+	if _, err := sr.Next(); !errors.Is(err, ErrStructural) {
+		t.Fatalf("oversized claim: %v, want structural", err)
+	}
+
+	// A large admissible frame, delivered fragmented, still parses (the
+	// reader grows its buffer up to the bound, no further).
+	big := &OfferFiles{Client: 1, Port: 2}
+	longName := "very long filename "
+	for len(longName) < 400 {
+		longName += longName
+	}
+	for len(FrameTCP(big)) < 1<<16 && len(big.Files) < MaxFilesPerMsg {
+		e := sampleEntry(byte(len(big.Files)))
+		e.Tags[0] = StringTag(FTFileName, longName)
+		big.Files = append(big.Files, e)
+	}
+	frame := FrameTCP(big)
+	sr = NewStreamReader(iotest.HalfReader(bytes.NewReader(frame)))
+	m, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.(*OfferFiles).Files); got != len(big.Files) {
+		t.Fatalf("big offer: %d files, want %d", got, len(big.Files))
+	}
+}
+
+func TestStreamReaderMidFrameEOF(t *testing.T) {
+	frame := FrameTCP(&StatReq{Challenge: 9})
+	sr := NewStreamReader(bytes.NewReader(frame[:len(frame)-2]))
+	if _, err := sr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated stream: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamReaderPackedFrames(t *testing.T) {
+	m := &OfferFiles{Client: 3, Port: 4, Files: []FileEntry{sampleEntry(1), sampleEntry(2)}}
+	stream := append(FrameTCPPacked(m), FrameTCP(&StatReq{Challenge: 4})...)
+	sr := NewStreamReader(iotest.OneByteReader(bytes.NewReader(stream)))
+	got, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(Message(m))) {
+		t.Fatalf("packed via reader: %#v", got)
+	}
+	if m2, err := sr.Next(); err != nil || m2.(*StatReq).Challenge != 4 {
+		t.Fatalf("after packed: %v %v", m2, err)
 	}
 }

@@ -1,0 +1,319 @@
+// Package edload is a TCP client-swarm load generator for an eDonkey
+// directory server: it materialises a workload.Population's behavioural
+// plans as real framed TCP sessions (login → offers → interleaved
+// searches and source asks) and drives them over N concurrent
+// connections against edserverd (or any ed2k server). Every session is
+// strict request→answer lockstep except GetSources, whose variable
+// answer count is settled by a StatReq fence at session end — so a run
+// that returns without error has verified every single answer arrived.
+package edload
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edtrace/internal/clients"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/randx"
+	"edtrace/internal/workload"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Clients is the number of concurrent TCP client sessions. Sessions
+	// replay the first Clients plans of the generated population (the
+	// population config's NumClients should be >= Clients; it is raised
+	// automatically when smaller).
+	Clients int
+	// Workload scales the synthetic catalog and population.
+	Workload workload.Config
+	// Traffic shapes the per-session message mix (OfferBatch,
+	// AsksPerMessage, ScannerUnknownShare). The zero value means
+	// clients.DefaultTraffic().
+	Traffic clients.TrafficConfig
+	// MaxMessagesPerClient bounds one session's plan (<= 0: 256). Heavy
+	// profiles would otherwise send six-figure message counts.
+	MaxMessagesPerClient int
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+	// Logf, when set, receives lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats aggregates a completed run.
+type Stats struct {
+	Clients  int
+	Sent     uint64 // messages written, logins and fences included
+	Answers  uint64 // messages read back
+	Offers   uint64
+	Searches uint64
+	Asks     uint64 // GetSources messages (each carries >= 1 hash)
+	Found    uint64 // FoundSources answers received
+	Wall     time.Duration
+}
+
+// MsgsPerSec is the end-to-end round-trip rate of the run.
+func (s Stats) MsgsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Sent+s.Answers) / 2 / s.Wall.Seconds()
+}
+
+// Run executes the swarm against cfg.Addr until every session finishes
+// its plan, any session fails, or ctx is cancelled. The returned stats
+// are valid even on error (they count what happened up to the failure).
+func Run(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Workload.NumClients < cfg.Clients {
+		cfg.Workload.NumClients = cfg.Clients
+	}
+	if cfg.MaxMessagesPerClient <= 0 {
+		cfg.MaxMessagesPerClient = 256
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Traffic.OfferBatch == 0 { // zero value: take the calibrated mix
+		cfg.Traffic = clients.DefaultTraffic()
+	}
+	if err := cfg.Traffic.Validate(); err != nil {
+		return Stats{}, err
+	}
+	cat, err := workload.Generate(cfg.Workload)
+	if err != nil {
+		return Stats{}, err
+	}
+	pop, err := workload.GeneratePopulation(cfg.Workload, cat)
+	if err != nil {
+		return Stats{}, err
+	}
+	planner := clients.NewPlanner(cat, cfg.Traffic)
+	if cfg.Logf != nil {
+		cfg.Logf("edload: %d clients against %s (catalog %d files)",
+			cfg.Clients, cfg.Addr, len(cat.Files))
+	}
+
+	var (
+		stats   Stats
+		sent    atomic.Uint64
+		answers atomic.Uint64
+		offers  atomic.Uint64
+		search  atomic.Uint64
+		asks    atomic.Uint64
+		found   atomic.Uint64
+	)
+	start := time.Now()
+	root := randx.New(cfg.Workload.Seed, 0xED10AD)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		r := root.Split(uint64(i) + 1) // split serially: Rand is not goroutine-safe
+		go func(i int, r *randx.Rand) {
+			defer wg.Done()
+			s := &session{
+				cfg:     &cfg,
+				sent:    &sent,
+				answers: &answers,
+				offers:  &offers,
+				search:  &search,
+				asks:    &asks,
+				found:   &found,
+			}
+			c := &pop.Clients[i]
+			plan := planner.Messages(c, r, cfg.MaxMessagesPerClient)
+			if err := s.run(runCtx, plan); err != nil {
+				select {
+				case errc <- fmt.Errorf("edload: client %d: %w", i, err):
+				default:
+				}
+				cancel() // one failed session aborts the swarm
+			}
+		}(i, r)
+	}
+	wg.Wait()
+
+	stats.Clients = cfg.Clients
+	stats.Sent = sent.Load()
+	stats.Answers = answers.Load()
+	stats.Offers = offers.Load()
+	stats.Searches = search.Load()
+	stats.Asks = asks.Load()
+	stats.Found = found.Load()
+	stats.Wall = time.Since(start)
+	select {
+	case err := <-errc:
+		return stats, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("edload: done: %d sent, %d answered in %v (%.0f msgs/s)",
+			stats.Sent, stats.Answers, stats.Wall.Round(time.Millisecond), stats.MsgsPerSec())
+	}
+	return stats, nil
+}
+
+// session is one TCP client connection replaying one plan.
+type session struct {
+	cfg *Config
+
+	sent, answers, offers, search, asks, found *atomic.Uint64
+
+	conn     net.Conn
+	bw       *bufio.Writer
+	sr       *ed2k.StreamReader
+	fenceSeq uint32
+}
+
+func (s *session) run(ctx context.Context, plan []ed2k.Message) error {
+	d := net.Dialer{Timeout: s.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp4", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Cancellation unblocks any pending read/write by killing the conn.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	s.conn = conn
+	s.bw = bufio.NewWriterSize(conn, 16<<10)
+	s.sr = ed2k.NewStreamReader(conn)
+
+	// Handshake.
+	if err := s.send(&ed2k.LoginRequest{Nick: "edload", Port: 4662}); err != nil {
+		return err
+	}
+	if _, err := s.expect(func(m ed2k.Message) bool { _, ok := m.(*ed2k.IDChange); return ok }); err != nil {
+		return fmt.Errorf("login: %w", err)
+	}
+
+	// maxOutstandingHashes bounds the asked-for hashes in flight before
+	// a fence forces a drain: a long all-ask run otherwise writes
+	// without ever reading while the server writes FoundSources back,
+	// and once both socket buffers fill the server's write deadline
+	// kills the session. Hashes, not messages, are the right unit — a
+	// caller-supplied Traffic.AsksPerMessage can be large. 96 hashes ×
+	// ≤~330 B per answer stays far below any default buffer size.
+	const maxOutstandingHashes = 96
+	outstanding := 0
+	for _, msg := range plan {
+		if err := s.send(msg); err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *ed2k.OfferFiles:
+			s.offers.Add(1)
+			if _, err := s.expect(isType[*ed2k.OfferAck]); err != nil {
+				return fmt.Errorf("offer: %w", err)
+			}
+			outstanding = 0 // the in-order OfferAck drained everything prior
+		case *ed2k.SearchReq:
+			s.search.Add(1)
+			if _, err := s.expect(isType[*ed2k.SearchRes]); err != nil {
+				return fmt.Errorf("search: %w", err)
+			}
+			outstanding = 0
+		case *ed2k.GetSources:
+			// Variable answer count (one FoundSources per known hash);
+			// drained by expect's FoundSources accounting and settled by
+			// the next fence.
+			s.asks.Add(1)
+			outstanding += len(m.Hashes)
+			if outstanding >= maxOutstandingHashes {
+				if err := s.fence(); err != nil {
+					return err
+				}
+				outstanding = 0
+			}
+		default:
+			return fmt.Errorf("plan contains unexpected %T", msg)
+		}
+	}
+
+	// Final fence: its answer is the last in-order message, proving
+	// every prior answer has been received and counted.
+	return s.fence()
+}
+
+// fence sends a StatReq and reads until its StatRes arrives — an
+// in-order sync point that drains every pending FoundSources.
+func (s *session) fence() error {
+	s.fenceSeq++
+	challenge := uint32(0xFE000000) | s.fenceSeq
+	if err := s.send(&ed2k.StatReq{Challenge: challenge}); err != nil {
+		return err
+	}
+	m, err := s.expect(isType[*ed2k.StatRes])
+	if err != nil {
+		return fmt.Errorf("fence: %w", err)
+	}
+	if got := m.(*ed2k.StatRes).Challenge; got != challenge {
+		return fmt.Errorf("fence challenge %#x, want %#x", got, challenge)
+	}
+	return nil
+}
+
+func (s *session) send(m ed2k.Message) error {
+	if _, err := s.bw.Write(ed2k.FrameTCP(m)); err != nil {
+		return err
+	}
+	s.sent.Add(1)
+	return nil
+}
+
+// expect flushes pending writes and reads until a message satisfying
+// want arrives, counting the FoundSources answers that interleave from
+// earlier GetSources queries.
+func (s *session) expect(want func(ed2k.Message) bool) (ed2k.Message, error) {
+	if err := s.bw.Flush(); err != nil {
+		return nil, err
+	}
+	for {
+		m, err := s.sr.Next()
+		if err != nil {
+			return nil, err
+		}
+		s.answers.Add(1)
+		if _, ok := m.(*ed2k.FoundSources); ok {
+			s.found.Add(1)
+			continue
+		}
+		if want(m) {
+			return m, nil
+		}
+		return nil, fmt.Errorf("out-of-order answer %T", m)
+	}
+}
+
+func isType[T ed2k.Message](m ed2k.Message) bool {
+	_, ok := m.(T)
+	return ok
+}
+
+// DefaultWorkload returns a load-test-sized population: small enough to
+// generate instantly, rich enough to exercise every profile.
+func DefaultWorkload(seed uint64, nClients int) workload.Config {
+	wl := workload.DefaultConfig()
+	wl.Seed = seed
+	wl.NumClients = nClients
+	wl.NumFiles = 2000
+	wl.VocabWords = 400
+	return wl
+}

@@ -1,0 +1,109 @@
+package edload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"edtrace/internal/clients"
+	"edtrace/internal/edserverd"
+)
+
+func startDaemon(t *testing.T) *edserverd.Daemon {
+	t.Helper()
+	d, err := edserverd.Start(edserverd.Config{UDPAddr: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return d
+}
+
+func loadConfig(d *edserverd.Daemon, nClients, maxMsgs int) Config {
+	return Config{
+		Addr:                 d.TCPAddr().String(),
+		Clients:              nClients,
+		Workload:             DefaultWorkload(7, nClients),
+		Traffic:              clients.DefaultTraffic(),
+		MaxMessagesPerClient: maxMsgs,
+	}
+}
+
+// TestLoadSmoke: a small swarm, every answer verified by the lockstep
+// protocol, daemon counters consistent with swarm counters.
+func TestLoadSmoke(t *testing.T) {
+	d := startDaemon(t)
+	st, err := Run(context.Background(), loadConfig(d, 20, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offers == 0 || st.Searches == 0 || st.Asks == 0 {
+		t.Fatalf("degenerate mix: %+v", st)
+	}
+	ds := d.Stats()
+	if ds.Conns != 20 || ds.Logins != 20 {
+		t.Fatalf("daemon saw %d conns %d logins", ds.Conns, ds.Logins)
+	}
+	// Every message the swarm sent was read by the daemon; every answer
+	// the daemon sent was read by the swarm.
+	if ds.TCPMsgs != st.Sent {
+		t.Fatalf("daemon read %d messages, swarm sent %d", ds.TCPMsgs, st.Sent)
+	}
+	if st.Answers != ds.Answers {
+		t.Fatalf("swarm read %d answers, daemon sent %d", st.Answers, ds.Answers)
+	}
+}
+
+// TestLoad500ConcurrentClients is the acceptance bar: 500 concurrent
+// TCP sessions complete without a single protocol or transport error
+// (run under -race in CI).
+func TestLoad500ConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-client swarm skipped with -short")
+	}
+	d := startDaemon(t)
+	st, err := Run(context.Background(), loadConfig(d, 500, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clients != 500 {
+		t.Fatalf("clients = %d", st.Clients)
+	}
+	ds := d.Stats()
+	if ds.Conns != 500 {
+		t.Fatalf("daemon accepted %d conns", ds.Conns)
+	}
+	// The daemon's per-conn goroutines observe the client-side closes
+	// asynchronously; give them a moment to drain.
+	for end := time.Now().Add(5 * time.Second); d.Stats().Active != 0; {
+		if time.Now().After(end) {
+			t.Fatalf("%d connections still active after run", d.Stats().Active)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ds.BadMsgs != 0 {
+		t.Fatalf("daemon saw %d bad messages", ds.BadMsgs)
+	}
+	if ds.TCPMsgs != st.Sent {
+		t.Fatalf("daemon read %d, swarm sent %d", ds.TCPMsgs, st.Sent)
+	}
+	t.Logf("500 clients: %d msgs sent, %d answers, %.0f msgs/s round-trip",
+		st.Sent, st.Answers, st.MsgsPerSec())
+}
+
+// TestLoadCancellation: cancelling the context aborts promptly and
+// surfaces the cancellation.
+func TestLoadCancellation(t *testing.T) {
+	d := startDaemon(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, loadConfig(d, 5, 50)); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}

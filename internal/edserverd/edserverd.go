@@ -1,0 +1,496 @@
+// Package edserverd is the real eDonkey directory-server daemon: the
+// deployed substrate the paper measured but could not open-source
+// (§2.2). It serves the ed2k protocol over real sockets — framed TCP
+// sessions (internal/ed2k's stream framing) and bare UDP datagrams —
+// dispatching every decoded query into the sharded concurrent index of
+// internal/server, one goroutine per TCP connection plus one UDP read
+// loop, with a periodic source-expiry sweep.
+//
+// A Tap hook mirrors every decoded query and answer as (srcKey, dstKey,
+// payload) triples — the software equivalent of the port mirror feeding
+// the paper's capture machine — which edtrace.ServerSource turns into
+// the standard Session pipeline input, so a live run of this daemon can
+// be captured, anonymised and analysed by the exact code path used for
+// the simulator and for pcap replay.
+package edserverd
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/server"
+	"edtrace/internal/simtime"
+)
+
+// TapFunc receives one mirrored message: srcKey/dstKey identify the
+// dialog endpoints (see AddrKey) and payload is the UDP-style encoding
+// of the message ([0xE3][opcode][body]), freshly allocated per call.
+// Called concurrently from every connection goroutine; must be fast and
+// must not retain payload beyond the call unless it owns it.
+type TapFunc func(srcKey, dstKey uint32, payload []byte)
+
+// Config parameterises a daemon. The zero value listens on ephemeral
+// loopback ports with default sizing.
+type Config struct {
+	// TCPAddr and UDPAddr are listen addresses ("127.0.0.1:4661"). An
+	// empty address means an ephemeral loopback port; "off" disables the
+	// protocol entirely.
+	TCPAddr string
+	UDPAddr string
+
+	// Name and Desc are the server identity (ServerDescRes).
+	Name string
+	Desc string
+
+	// Shards is the index shard count (rounded up to a power of two).
+	// Zero means 4×GOMAXPROCS, at least 16.
+	Shards int
+
+	// SourceTTL expires sources that stopped re-announcing (default 2h
+	// of daemon uptime).
+	SourceTTL simtime.Time
+
+	// ExpiryInterval is the wall-clock period of the source-expiry
+	// sweep (default 5 minutes; <0 disables the sweeper).
+	ExpiryInterval time.Duration
+
+	// KnownServers is returned to GetServerList queries.
+	KnownServers []ed2k.ServerAddr
+
+	// Tap, when set, mirrors every decoded query and answer.
+	Tap TapFunc
+
+	// Logf, when set, receives one line per lifecycle event and per
+	// connection error (not per message).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of daemon activity counters.
+type Stats struct {
+	// Conns counts TCP connections accepted; Active the ones open now.
+	Conns   uint64
+	Active  int64
+	Logins  uint64
+	TCPMsgs uint64
+	UDPMsgs uint64
+	Answers uint64
+	// BadMsgs counts undecodable inputs (TCP framing kills the
+	// connection; UDP datagrams are dropped individually).
+	BadMsgs uint64
+	// Server is the aggregated index/opcode view.
+	Server server.Stats
+}
+
+// Daemon is one running eDonkey server instance.
+type Daemon struct {
+	cfg   Config
+	srv   *server.Server
+	start time.Time
+	tap   atomic.Pointer[TapFunc]
+
+	tcpLn   *net.TCPListener
+	udpConn *net.UDPConn
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	nConns, nLogins, nTCP, nUDP, nAns, nBad atomic.Uint64
+	active                                  atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// Start binds the configured listeners and launches the serving loops.
+// The returned daemon runs until Shutdown.
+func Start(cfg Config) (*Daemon, error) {
+	if cfg.Name == "" {
+		cfg.Name = "edserverd"
+	}
+	if cfg.Desc == "" {
+		cfg.Desc = "edtrace eDonkey directory server"
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4 * runtime.GOMAXPROCS(0)
+		if cfg.Shards < 16 {
+			cfg.Shards = 16
+		}
+	}
+	if cfg.ExpiryInterval == 0 {
+		cfg.ExpiryInterval = 5 * time.Minute
+	}
+	if cfg.TCPAddr == "off" && cfg.UDPAddr == "off" {
+		return nil, errors.New("edserverd: both TCP and UDP disabled")
+	}
+
+	d := &Daemon{
+		cfg:   cfg,
+		srv:   server.NewSharded(cfg.Name, cfg.Desc, cfg.Shards),
+		start: time.Now(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.SourceTTL > 0 {
+		d.srv.SourceTTL = cfg.SourceTTL
+	}
+	d.srv.KnownServers = cfg.KnownServers
+	if cfg.Tap != nil {
+		d.tap.Store(&cfg.Tap)
+	}
+	d.ctx, d.cancel = context.WithCancel(context.Background())
+
+	if cfg.TCPAddr != "off" {
+		addr := cfg.TCPAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ta, err := net.ResolveTCPAddr("tcp4", addr)
+		if err != nil {
+			return nil, fmt.Errorf("edserverd: tcp addr: %w", err)
+		}
+		d.tcpLn, err = net.ListenTCP("tcp4", ta)
+		if err != nil {
+			return nil, fmt.Errorf("edserverd: %w", err)
+		}
+	}
+	if cfg.UDPAddr != "off" {
+		addr := cfg.UDPAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ua, err := net.ResolveUDPAddr("udp4", addr)
+		if err != nil {
+			d.closeListeners()
+			return nil, fmt.Errorf("edserverd: udp addr: %w", err)
+		}
+		d.udpConn, err = net.ListenUDP("udp4", ua)
+		if err != nil {
+			d.closeListeners()
+			return nil, fmt.Errorf("edserverd: %w", err)
+		}
+	}
+
+	if d.tcpLn != nil {
+		d.wg.Add(1)
+		go d.acceptLoop()
+	}
+	if d.udpConn != nil {
+		d.wg.Add(1)
+		go d.udpLoop()
+	}
+	if cfg.ExpiryInterval > 0 {
+		d.wg.Add(1)
+		go d.expiryLoop()
+	}
+	d.logf("edserverd: serving tcp=%v udp=%v shards=%d",
+		d.TCPAddr(), d.UDPAddr(), d.srv.NumShards())
+	return d, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// TCPAddr returns the bound TCP listen address (nil when disabled).
+func (d *Daemon) TCPAddr() net.Addr {
+	if d.tcpLn == nil {
+		return nil
+	}
+	return d.tcpLn.Addr()
+}
+
+// UDPAddr returns the bound UDP listen address (nil when disabled).
+func (d *Daemon) UDPAddr() net.Addr {
+	if d.udpConn == nil {
+		return nil
+	}
+	return d.udpConn.LocalAddr()
+}
+
+// ServerKey is the daemon's dialog-endpoint key: the value a capture
+// pipeline observing the tap should treat as the server's address.
+func (d *Daemon) ServerKey() uint32 {
+	if d.tcpLn != nil {
+		a := d.tcpLn.Addr().(*net.TCPAddr)
+		return AddrKey(a.IP, a.Port)
+	}
+	a := d.udpConn.LocalAddr().(*net.UDPAddr)
+	return AddrKey(a.IP, a.Port)
+}
+
+// AddrKey derives the uint32 dialog key for an endpoint. Real IPv4
+// addresses map to their numeric value; loopback and wildcard addresses
+// (every peer shares 127.0.0.1 in a local swarm) are disambiguated by
+// port: 0x7F00_0000 | port, mirroring edtrace.UDPAddrKey.
+func AddrKey(ip net.IP, port int) uint32 {
+	ip4 := ip.To4()
+	if ip4 == nil || ip4.IsLoopback() || ip4.IsUnspecified() {
+		return 0x7F000000 | uint32(port)
+	}
+	return binary.BigEndian.Uint32(ip4)
+}
+
+// now is the daemon's virtual clock: uptime as simtime.
+func (d *Daemon) now() simtime.Time {
+	return simtime.Time(time.Since(d.start))
+}
+
+// Uptime reports how long the daemon has been serving.
+func (d *Daemon) Uptime() time.Duration { return time.Since(d.start) }
+
+// Stats snapshots the daemon and index counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Conns:   d.nConns.Load(),
+		Active:  d.active.Load(),
+		Logins:  d.nLogins.Load(),
+		TCPMsgs: d.nTCP.Load(),
+		UDPMsgs: d.nUDP.Load(),
+		Answers: d.nAns.Load(),
+		BadMsgs: d.nBad.Load(),
+		Server:  d.srv.Stats(),
+	}
+}
+
+// Shutdown stops accepting, closes every live connection, and waits for
+// the serving loops to drain (bounded by ctx). Idempotent.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.closeOnce.Do(func() {
+		d.logf("edserverd: shutting down")
+		d.cancel()
+		d.closeListeners()
+		d.connMu.Lock()
+		for c := range d.conns {
+			c.Close()
+		}
+		d.connMu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (d *Daemon) closeListeners() {
+	if d.tcpLn != nil {
+		d.tcpLn.Close()
+	}
+	if d.udpConn != nil {
+		d.udpConn.Close()
+	}
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.tcpLn.AcceptTCP()
+		if err != nil {
+			if d.ctx.Err() != nil {
+				return
+			}
+			d.logf("edserverd: accept: %v", err)
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Persistent errors (EMFILE under fd exhaustion) would
+			// otherwise busy-spin; the standard short breather bounds
+			// the log flood and CPU burn until resources free up.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		d.nConns.Add(1)
+		d.active.Add(1)
+		d.track(conn, true)
+		// A connection accepted concurrently with Shutdown can miss its
+		// close sweep (tracked after the sweep ran); re-checking after
+		// tracking closes that window.
+		if d.ctx.Err() != nil {
+			conn.Close()
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer d.active.Add(-1)
+			defer d.track(conn, false)
+			defer conn.Close()
+			d.serveConn(conn)
+		}()
+	}
+}
+
+func (d *Daemon) track(c net.Conn, add bool) {
+	d.connMu.Lock()
+	if add {
+		d.conns[c] = struct{}{}
+	} else {
+		delete(d.conns, c)
+	}
+	d.connMu.Unlock()
+}
+
+// serveConn runs one TCP session: framed requests in, framed answers
+// out, strictly request→answers ordered per connection (the protocol has
+// no pipelined answers that outlive their query on the server side).
+func (d *Daemon) serveConn(conn *net.TCPConn) {
+	remote := conn.RemoteAddr().(*net.TCPAddr)
+	clientKey := AddrKey(remote.IP, remote.Port)
+	clientID := ed2k.ClientID(clientKey)
+	clientPort := uint16(remote.Port)
+	serverKey := d.ServerKey()
+
+	sr := ed2k.NewStreamReader(conn)
+	var out []byte
+	for {
+		msg, err := sr.Next()
+		if err != nil {
+			if err != io.EOF && d.ctx.Err() == nil {
+				d.nBad.Add(1)
+				d.logf("edserverd: %v: %v", remote, err)
+			}
+			return
+		}
+		d.nTCP.Add(1)
+		now := d.now()
+
+		var answers []ed2k.Message
+		switch m := msg.(type) {
+		case *ed2k.LoginRequest:
+			// The session handshake is the daemon's business, not the
+			// index's. Per the ed2k convention, Client == 0 asks the
+			// server to assign an ID: those clients get the low-ID
+			// regime (address key folded under LowIDThreshold — port
+			// collisions across distinct NAT gateways may merge, like
+			// deployed servers recycling low IDs). Nonzero claims are
+			// taken at face value, as historical servers did.
+			d.nLogins.Add(1)
+			if m.Port != 0 {
+				clientPort = m.Port
+			}
+			if m.Client != 0 {
+				clientID = m.Client
+			} else {
+				clientID = ed2k.ClientID(clientKey % ed2k.LowIDThreshold)
+			}
+			answers = []ed2k.Message{&ed2k.IDChange{Client: clientID}}
+		default:
+			d.mirror(clientKey, serverKey, msg)
+			answers = d.srv.Handle(now, clientID, clientPort, msg)
+		}
+
+		out = out[:0]
+		for _, a := range answers {
+			d.mirror(serverKey, clientKey, a)
+			out = append(out, ed2k.FrameTCP(a)...)
+		}
+		d.nAns.Add(uint64(len(answers)))
+		if len(out) > 0 {
+			conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			if _, err := conn.Write(out); err != nil {
+				if d.ctx.Err() == nil {
+					d.logf("edserverd: %v: write: %v", remote, err)
+				}
+				return
+			}
+		}
+	}
+}
+
+func (d *Daemon) udpLoop() {
+	defer d.wg.Done()
+	serverKey := d.ServerKey()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := d.udpConn.ReadFromUDP(buf)
+		if err != nil {
+			if d.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			d.logf("edserverd: udp read: %v", err)
+			continue
+		}
+		msg, derr := ed2k.Decode(buf[:n])
+		if derr != nil {
+			d.nBad.Add(1)
+			continue
+		}
+		d.nUDP.Add(1)
+		clientKey := AddrKey(from.IP, from.Port)
+		d.mirror(clientKey, serverKey, msg)
+		answers := d.srv.Handle(d.now(), ed2k.ClientID(clientKey), uint16(from.Port), msg)
+		d.nAns.Add(uint64(len(answers)))
+		for _, a := range answers {
+			d.mirror(serverKey, clientKey, a)
+			if _, err := d.udpConn.WriteToUDP(ed2k.Encode(a), from); err != nil && d.ctx.Err() == nil {
+				d.logf("edserverd: udp write: %v", err)
+			}
+		}
+	}
+}
+
+// SetTap installs the traffic mirror at runtime — how
+// edtrace.ServerSource attaches a capture session to an already-running
+// daemon (replacing any previous tap; a daemon carries at most one).
+// The returned detach function removes fn only while it is still the
+// installed tap, so a stale capture tearing down cannot silently
+// detach its successor. Safe to call concurrently with serving.
+func (d *Daemon) SetTap(fn TapFunc) (detach func()) {
+	if fn == nil {
+		d.tap.Store(nil)
+		return func() {}
+	}
+	p := &fn
+	d.tap.Store(p)
+	return func() { d.tap.CompareAndSwap(p, nil) }
+}
+
+// Done is closed when the daemon starts shutting down.
+func (d *Daemon) Done() <-chan struct{} { return d.ctx.Done() }
+
+// mirror feeds the tap with the UDP-style encoding of one message. The
+// TCP-only session opcodes (login handshake) have no UDP encoding and
+// are not mirrored — the paper's capture analysed the UDP dialect.
+func (d *Daemon) mirror(srcKey, dstKey uint32, m ed2k.Message) {
+	tap := d.tap.Load()
+	if tap == nil {
+		return
+	}
+	switch m.Opcode() {
+	case ed2k.OpLoginRequest, ed2k.OpIDChange:
+		return
+	}
+	(*tap)(srcKey, dstKey, ed2k.Encode(m))
+}
+
+func (d *Daemon) expiryLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.ExpiryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.srv.ExpireSources(d.now())
+		case <-d.ctx.Done():
+			return
+		}
+	}
+}

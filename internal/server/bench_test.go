@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/randx"
+	"edtrace/internal/simtime"
+)
+
+// benchServer builds a pre-populated server: nFiles files announced by
+// rotating clients, so GetSources and searches hit a warm index.
+func benchServer(shards, nFiles int) (*Server, []ed2k.Message) {
+	s := NewSharded("bench", "bench", shards)
+	r := randx.New(1, 99)
+	ids := make([]ed2k.FileID, nFiles)
+	for i := range ids {
+		var fid ed2k.FileID
+		fid[0], fid[1], fid[2] = byte(i), byte(i>>8), byte(i>>16)
+		fid[5] = byte(r.Uint32())
+		ids[i] = fid
+		e := ed2k.FileEntry{
+			ID: fid,
+			Tags: []ed2k.Tag{
+				ed2k.StringTag(ed2k.FTFileName, fmt.Sprintf("word%d track%d.mp3", i%211, i)),
+				ed2k.UintTag(ed2k.FTFileSize, uint32(1+i)<<10),
+				ed2k.StringTag(ed2k.FTFileType, "Audio"),
+			},
+		}
+		from := ed2k.ClientID(1000 + i%512)
+		s.Handle(0, from, 4662, &ed2k.OfferFiles{Client: from, Port: 4662, Files: []ed2k.FileEntry{e}})
+	}
+	// The benchmark message mix approximates the paper's opcode shares:
+	// source asks dominate, searches and pings trail, offers refresh.
+	msgs := make([]ed2k.Message, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		switch {
+		case i%8 < 5:
+			msgs = append(msgs, &ed2k.GetSources{Hashes: []ed2k.FileID{
+				ids[r.IntN(nFiles)], ids[r.IntN(nFiles)],
+			}})
+		case i%8 < 6:
+			msgs = append(msgs, &ed2k.SearchReq{Expr: ed2k.Keyword(fmt.Sprintf("word%d", r.IntN(211)))})
+		case i%8 < 7:
+			msgs = append(msgs, &ed2k.StatReq{Challenge: uint32(i)})
+		default:
+			j := r.IntN(nFiles)
+			msgs = append(msgs, &ed2k.OfferFiles{
+				Client: ed2k.ClientID(1000 + j%512), Port: 4662,
+				Files: []ed2k.FileEntry{{
+					ID: ids[j],
+					Tags: []ed2k.Tag{
+						ed2k.StringTag(ed2k.FTFileName, fmt.Sprintf("word%d track%d.mp3", j%211, j)),
+						ed2k.UintTag(ed2k.FTFileSize, uint32(1+j)<<10),
+						ed2k.StringTag(ed2k.FTFileType, "Audio"),
+					},
+				}},
+			})
+		}
+	}
+	return s, msgs
+}
+
+// BenchmarkServerHandle measures the Handle hot path on a warm index —
+// the scaling claim behind the sharded refactor. The single-shard
+// variants show the serial baseline and the single-lock collapse under
+// parallelism; the sharded/parallel variant is what edserverd runs.
+func BenchmarkServerHandle(b *testing.B) {
+	const nFiles = 1 << 15
+	run := func(b *testing.B, shards int, parallel bool) {
+		s, msgs := benchServer(shards, nFiles)
+		mask := len(msgs) - 1
+		b.ResetTimer()
+		if !parallel {
+			for i := 0; i < b.N; i++ {
+				s.Handle(simtime.Time(i), ed2k.ClientID(1000+i%512), 4662, msgs[i&mask])
+			}
+		} else {
+			var cursor atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(cursor.Add(1))
+					s.Handle(simtime.Time(i), ed2k.ClientID(1000+i%512), 4662, msgs[i&mask])
+				}
+			})
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	}
+	b.Run("single-shard-serial", func(b *testing.B) { run(b, 1, false) })
+	b.Run("single-shard-parallel", func(b *testing.B) { run(b, 1, true) })
+	b.Run(fmt.Sprintf("sharded-%d-parallel", shardCountForCPU()), func(b *testing.B) {
+		run(b, shardCountForCPU(), true)
+	})
+}
+
+// shardCountForCPU mirrors the daemon's default: enough shards that
+// every core can usually hold a different one.
+func shardCountForCPU() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}

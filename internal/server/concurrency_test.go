@@ -1,0 +1,260 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/simtime"
+)
+
+// TestConcurrentHandle hammers a sharded server from many goroutines
+// mixing every opcode; run with -race this is the index's memory-model
+// test. Totals are checked afterwards: no offer, ask or search may be
+// lost to a data race.
+func TestConcurrentHandle(t *testing.T) {
+	s := NewSharded("t", "d", 8)
+	const (
+		workers    = 16
+		perWorker  = 200
+		filesEach  = 5
+		totalFiles = workers * perWorker * filesEach
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			from := ed2k.ClientID(1000 + w)
+			for i := 0; i < perWorker; i++ {
+				var files []ed2k.FileEntry
+				for k := 0; k < filesEach; k++ {
+					n := w*perWorker*filesEach + i*filesEach + k
+					files = append(files, entry(byte(n), fmt.Sprintf("word%d file%d.mp3", n%97, n), uint32(n+1), "Audio"))
+					files[k].ID[1] = byte(n >> 8)
+					files[k].ID[2] = byte(n >> 16)
+				}
+				s.Handle(simtime.Time(i)*simtime.Second, from, 4662, offer(from, files...))
+				s.Handle(simtime.Time(i)*simtime.Second, from, 4662,
+					&ed2k.GetSources{Hashes: []ed2k.FileID{files[0].ID}})
+				s.Handle(simtime.Time(i)*simtime.Second, from, 4662,
+					&ed2k.SearchReq{Expr: ed2k.Keyword(fmt.Sprintf("word%d", i%97))})
+				s.Handle(simtime.Time(i)*simtime.Second, from, 4662, &ed2k.StatReq{Challenge: uint32(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.IndexedFiles != totalFiles {
+		t.Fatalf("indexed %d files, want %d", st.IndexedFiles, totalFiles)
+	}
+	if st.IndexedSources != totalFiles {
+		t.Fatalf("indexed %d sources, want %d", st.IndexedSources, totalFiles)
+	}
+	if got := st.Received["OfferFiles"]; got != workers*perWorker {
+		t.Fatalf("received %d offers, want %d", got, workers*perWorker)
+	}
+	if got := st.Received["StatReq"]; got != workers*perWorker {
+		t.Fatalf("received %d stat reqs, want %d", got, workers*perWorker)
+	}
+	if s.Users() != workers {
+		t.Fatalf("users = %d, want %d", s.Users(), workers)
+	}
+}
+
+// TestExpireSourcesUnderConcurrentHandle runs the periodic expiry sweep
+// while announcements and source queries are in flight — the daemon's
+// steady state. The invariant: after the dust settles, the source gauge
+// matches a full count of the surviving per-file source lists, and every
+// source the sweeps could not have expired is still answerable.
+func TestExpireSourcesUnderConcurrentHandle(t *testing.T) {
+	s := NewSharded("t", "d", 4)
+	s.SourceTTL = simtime.Hour
+
+	const (
+		workers   = 8
+		perWorker = 300
+	)
+	stop := make(chan struct{})
+	var expiries sync.WaitGroup
+	expiries.Add(1)
+	go func() {
+		defer expiries.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Sweep at a time that expires the "old" half of announcements
+			// (t=0) but never the "fresh" half (t=2h).
+			s.ExpireSources(simtime.Hour + simtime.Minute)
+			_ = i
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			from := ed2k.ClientID(100 + w)
+			for i := 0; i < perWorker; i++ {
+				e := entry(byte(i), "steady state.mp3", 1, "Audio")
+				e.ID[1] = byte(i >> 8)
+				e.ID[2] = byte(w)
+				// Half the announcements are already stale when a sweep at
+				// t=1h+1m runs; half are fresh.
+				at := simtime.Time(0)
+				if i%2 == 1 {
+					at = 2 * simtime.Hour
+				}
+				s.Handle(at, from, 4662, offer(from, e))
+				s.Handle(2*simtime.Hour, from, 4662, &ed2k.GetSources{Hashes: []ed2k.FileID{e.ID}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	expiries.Wait()
+
+	// One final sweep with every announcement time in the past: only the
+	// fresh half may survive.
+	s.ExpireSources(simtime.Hour + simtime.Minute)
+	st := s.Stats()
+	want := workers * perWorker / 2
+	if st.IndexedSources != want {
+		t.Fatalf("sources after final sweep = %d, want %d", st.IndexedSources, want)
+	}
+	// The gauge must agree with what GetSources can actually see.
+	visible := 0
+	for w := 0; w < workers; w++ {
+		for i := 1; i < perWorker; i += 2 {
+			var fid ed2k.FileID
+			fid[0] = byte(i)
+			fid[15] = byte(i) ^ 0xFF
+			fid[1] = byte(i >> 8)
+			fid[2] = byte(w)
+			ans := s.Handle(2*simtime.Hour, 9999, 1, &ed2k.GetSources{Hashes: []ed2k.FileID{fid}})
+			for _, a := range ans {
+				visible += len(a.(*ed2k.FoundSources).Sources)
+			}
+		}
+	}
+	if visible != want {
+		t.Fatalf("answerable sources = %d, want %d", visible, want)
+	}
+}
+
+// TestExpireReclaimsIndex pins the long-running-daemon guarantee: a
+// file whose every source expired disappears entirely — from the file
+// table, the keyword postings, and (for idle clients) the user table —
+// and comes back cleanly when re-announced.
+func TestExpireReclaimsIndex(t *testing.T) {
+	s := NewSharded("t", "d", 4)
+	s.SourceTTL = simtime.Hour
+	s.Handle(0, 1, 1, offer(1, entry(1, "vivaldi seasons.mp3", 1, "Audio")))
+	s.Handle(3*simtime.Hour, 2, 2, offer(2, entry(2, "vivaldi concerto.mp3", 1, "Audio")))
+
+	s.ExpireSources(3 * simtime.Hour)
+	st := s.Stats()
+	if st.IndexedFiles != 1 || st.IndexedSources != 1 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+	if st.Users != 1 { // client 1 (last seen t=0) is idle past the TTL
+		t.Fatalf("users after expiry: %d", st.Users)
+	}
+	// The dead file is gone from the shared keyword's posting list: a
+	// search only finds the survivor, and the dedicated keyword of the
+	// dead file finds nothing.
+	ans := s.Handle(3*simtime.Hour, 9, 9, &ed2k.SearchReq{Expr: ed2k.Keyword("vivaldi")})
+	if res := ans[0].(*ed2k.SearchRes); len(res.Results) != 1 || res.Results[0].ID != entry(2, "", 0, "").ID {
+		t.Fatalf("post-expiry search: %+v", res.Results)
+	}
+	ans = s.Handle(3*simtime.Hour, 9, 9, &ed2k.SearchReq{Expr: ed2k.Keyword("seasons")})
+	if res := ans[0].(*ed2k.SearchRes); len(res.Results) != 0 {
+		t.Fatalf("dead file still searchable: %+v", res.Results)
+	}
+	// Re-announcing resurrects the file, searchable again.
+	s.Handle(4*simtime.Hour, 1, 1, offer(1, entry(1, "vivaldi seasons.mp3", 1, "Audio")))
+	ans = s.Handle(4*simtime.Hour, 9, 9, &ed2k.SearchReq{Expr: ed2k.Keyword("seasons")})
+	if res := ans[0].(*ed2k.SearchRes); len(res.Results) != 1 {
+		t.Fatalf("re-announced file not searchable: %+v", res.Results)
+	}
+	// Empty posting lists were deleted, not left as zombie slices.
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.keywords)
+	}
+	// vivaldi, seasons, mp3 (shared), concerto — exactly 4 live keywords.
+	if total != 4 {
+		t.Fatalf("keyword table holds %d entries, want 4", total)
+	}
+}
+
+// TestShardRoutingDeterministic pins the property concurrency relies on:
+// the same key always lands on the same shard, whatever the caller.
+func TestShardRoutingDeterministic(t *testing.T) {
+	s := NewSharded("t", "d", 16)
+	if s.NumShards() != 16 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	var fid ed2k.FileID
+	fid[3] = 7
+	if s.fileShard(fid) != s.fileShard(fid) {
+		t.Fatal("fileShard not deterministic")
+	}
+	if s.kwShard("mozart") != s.kwShard("mozart") {
+		t.Fatal("kwShard not deterministic")
+	}
+	if s.userShard(42) != s.userShard(42) {
+		t.Fatal("userShard not deterministic")
+	}
+}
+
+// TestNewShardedRounding documents the power-of-two rounding.
+func TestNewShardedRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewSharded("t", "d", c.in).NumShards(); got != c.want {
+			t.Errorf("NewSharded(%d) = %d shards, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestShardedMatchesSingleShard drives the same deterministic workload
+// through a 1-shard and an 8-shard server sequentially and requires
+// identical observable behaviour — sharding is a locking strategy, not a
+// semantic change.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	run := func(s *Server) []ed2k.Message {
+		var out []ed2k.Message
+		for i := 0; i < 50; i++ {
+			e := entry(byte(i), fmt.Sprintf("shared word%d.mp3", i%7), uint32(i+1), "Audio")
+			out = append(out, s.Handle(0, ed2k.ClientID(1+i%5), 4662, offer(ed2k.ClientID(1+i%5), e))...)
+		}
+		for i := 0; i < 7; i++ {
+			out = append(out, s.Handle(0, 99, 1, &ed2k.SearchReq{Expr: ed2k.Keyword(fmt.Sprintf("word%d", i))})...)
+		}
+		for i := 0; i < 50; i++ {
+			var fid ed2k.FileID
+			fid[0] = byte(i)
+			fid[15] = byte(i) ^ 0xFF
+			out = append(out, s.Handle(0, 7, 1, &ed2k.GetSources{Hashes: []ed2k.FileID{fid}})...)
+		}
+		return out
+	}
+	a := run(NewSharded("t", "d", 1))
+	b := run(NewSharded("t", "d", 8))
+	if len(a) != len(b) {
+		t.Fatalf("answer counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if fmt.Sprintf("%#v", a[i]) != fmt.Sprintf("%#v", b[i]) {
+			t.Errorf("answer %d differs:\n 1 shard: %#v\n 8 shards: %#v", i, a[i], b[i])
+		}
+	}
+}

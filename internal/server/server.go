@@ -5,15 +5,22 @@
 // The server does what §2.1 describes: it "indexes files and users", and
 // answers "searches for files (based on metadata like filename, size or
 // filetype)" and "searches for providers (called sources) of given
-// files". Internally it keeps a file table keyed by fileID with source
-// lists, an inverted keyword index over tokenised filenames for metadata
-// search, and per-opcode statistics. Answer sizes are bounded the way
-// deployed servers bounded them (UDP answers truncate source and result
-// lists).
+// files". Internally the index is split across N independently-lockable
+// shards: files and their source lists live in the shard their fileID
+// hashes to, keyword posting lists in the shard their keyword hashes to,
+// and users (plus the per-opcode counters) in the shard their clientID
+// hashes to. Every Handle path therefore locks only the shards its keys
+// touch, so concurrent callers — the edserverd daemon runs one goroutine
+// per TCP connection — scale across cores instead of serialising on one
+// struct. Stats are kept per shard and aggregated on read. Answer sizes
+// are bounded the way deployed servers bounded them (UDP answers
+// truncate source and result lists).
 package server
 
 import (
+	"math/bits"
 	"strings"
+	"sync"
 
 	"edtrace/internal/ed2k"
 	"edtrace/internal/simtime"
@@ -43,7 +50,8 @@ type source struct {
 type indexedFile struct {
 	entry ed2k.FileEntry // metadata from the first announcement
 	// Cached lowered metadata so search evaluation never re-folds case
-	// or re-scans tags per candidate.
+	// or re-scans tags per candidate. Written once at creation (under
+	// the owning shard's write lock); only sources mutates afterwards.
 	nameLower string
 	typeLower string
 	size      uint32
@@ -56,12 +64,29 @@ type Stats struct {
 	Received map[string]uint64
 	// Answered counts emitted answers by opcode name.
 	Answered map[string]uint64
-	// IndexedFiles and IndexedSources are current table gauges.
+	// IndexedFiles, IndexedSources and Users are current table gauges.
 	IndexedFiles   int
 	IndexedSources int
+	Users          int
 }
 
-// Server is an in-memory eDonkey directory server.
+// shard is one independently-lockable slice of the index. A single
+// Server routes three key spaces onto the same shard array — fileIDs,
+// keywords and clientIDs each by their own hash — so one shard holds
+// unrelated fractions of all three tables behind one lock.
+type shard struct {
+	mu       sync.RWMutex
+	files    map[ed2k.FileID]*indexedFile
+	keywords map[string][]ed2k.FileID
+	users    map[ed2k.ClientID]simtime.Time
+	received map[string]uint64
+	answered map[string]uint64
+	sources  int
+}
+
+// Server is an in-memory eDonkey directory server, safe for concurrent
+// Handle/ExpireSources/Stats calls. The exported configuration fields
+// must be set before the first concurrent use.
 type Server struct {
 	// Name and Desc are returned by ServerDescRes.
 	Name string
@@ -71,26 +96,81 @@ type Server struct {
 	// KnownServers is returned to GetServerList queries.
 	KnownServers []ed2k.ServerAddr
 
-	files    map[ed2k.FileID]*indexedFile
-	keywords map[string][]ed2k.FileID
-	users    map[ed2k.ClientID]simtime.Time
-	received map[string]uint64
-	answered map[string]uint64
-	sources  int
+	shards []*shard
+	mask   uint64
+
+	// expireMu serialises ExpireSources sweeps. The posting-cleanup
+	// phase nests a file shard's read lock inside a keyword shard's
+	// write lock; that nesting direction is unique in the package, but
+	// two concurrent sweeps could build it in opposite shard orders and
+	// deadlock — so only one sweep runs at a time.
+	expireMu sync.Mutex
 }
 
-// New returns an empty server.
+// New returns an empty single-shard server — the deterministic
+// configuration the discrete-event simulator drives from one goroutine.
 func New(name, desc string) *Server {
-	return &Server{
+	return NewSharded(name, desc, 1)
+}
+
+// NewSharded returns an empty server whose index is split across n
+// independently-lockable shards (n is rounded up to a power of two;
+// n <= 1 degenerates to the single-lock layout).
+func NewSharded(name, desc string, n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	s := &Server{
 		Name:      name,
 		Desc:      desc,
 		SourceTTL: 2 * simtime.Hour,
-		files:     make(map[ed2k.FileID]*indexedFile),
-		keywords:  make(map[string][]ed2k.FileID),
-		users:     make(map[ed2k.ClientID]simtime.Time),
-		received:  make(map[string]uint64),
-		answered:  make(map[string]uint64),
+		shards:    make([]*shard, n),
+		mask:      uint64(n - 1),
 	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			files:    make(map[ed2k.FileID]*indexedFile),
+			keywords: make(map[string][]ed2k.FileID),
+			users:    make(map[ed2k.ClientID]simtime.Time),
+			received: make(map[string]uint64),
+			answered: make(map[string]uint64),
+		}
+	}
+	return s
+}
+
+// NumShards reports the shard count (after power-of-two rounding).
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// fnv1a is FNV-1a over b — fast, allocation-free, and uniform even on
+// the low-entropy forged fileIDs whose first bytes cluster on 0x0000.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+func (s *Server) fileShard(id ed2k.FileID) *shard {
+	return s.shards[fnv1a(id[:])&s.mask]
+}
+
+func (s *Server) kwShard(kw string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(kw); i++ {
+		h = (h ^ uint64(kw[i])) * 1099511628211
+	}
+	return s.shards[h&s.mask]
+}
+
+func (s *Server) userShard(id ed2k.ClientID) *shard {
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(id), byte(id>>8), byte(id>>16), byte(id>>24)
+	return s.shards[fnv1a(b[:])&s.mask]
 }
 
 // Tokenize splits a filename into lowercase keywords the way historical
@@ -121,11 +201,15 @@ func Tokenize(name string) []string {
 
 // Handle processes one decoded query at virtual time now, from the given
 // client coordinates, and returns the answers to send (possibly several:
-// GetSources yields one FoundSources per known hash).
+// GetSources yields one FoundSources per known hash). Safe for
+// concurrent use.
 func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg ed2k.Message) []ed2k.Message {
 	op := ed2k.OpcodeName(msg.Opcode())
-	s.received[op]++
-	s.users[from] = now
+	us := s.userShard(from)
+	us.mu.Lock()
+	us.received[op]++
+	us.users[from] = now
+	us.mu.Unlock()
 
 	var answers []ed2k.Message
 	switch m := msg.(type) {
@@ -136,10 +220,11 @@ func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg e
 	case *ed2k.SearchReq:
 		answers = append(answers, s.handleSearch(m))
 	case *ed2k.StatReq:
+		users, files := s.counts()
 		answers = append(answers, &ed2k.StatRes{
 			Challenge: m.Challenge,
-			Users:     uint32(len(s.users)),
-			Files:     uint32(len(s.files)),
+			Users:     uint32(users),
+			Files:     uint32(files),
 		})
 	case ed2k.GetServerList:
 		answers = append(answers, &ed2k.ServerList{Servers: s.KnownServers})
@@ -150,9 +235,11 @@ func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg e
 		// like a real server would.
 		return nil
 	}
+	us.mu.Lock()
 	for _, a := range answers {
-		s.answered[ed2k.OpcodeName(a.Opcode())]++
+		us.answered[ed2k.OpcodeName(a.Opcode())]++
 	}
+	us.mu.Unlock()
 	return answers
 }
 
@@ -160,8 +247,11 @@ func (s *Server) handleOffer(now simtime.Time, from ed2k.ClientID, port uint16, 
 	accepted := uint32(0)
 	for i := range m.Files {
 		f := &m.Files[i]
-		idx := s.files[f.ID]
-		if idx == nil {
+		sh := s.fileShard(f.ID)
+		sh.mu.Lock()
+		idx := sh.files[f.ID]
+		isNew := idx == nil
+		if isNew {
 			idx = &indexedFile{entry: *f}
 			idx.entry.Client = from
 			idx.entry.Port = port
@@ -172,27 +262,38 @@ func (s *Server) handleOffer(now simtime.Time, from ed2k.ClientID, port uint16, 
 				idx.typeLower = strings.ToLower(typ)
 			}
 			idx.size, _ = f.Size()
-			s.files[f.ID] = idx
+			sh.files[f.ID] = idx
+		}
+		if addSource(idx, from, port, now) {
+			sh.sources++
+		}
+		sh.mu.Unlock()
+		// Keyword indexing happens outside the file shard's lock (posting
+		// lists live in other shards; never nest shard locks). Only the
+		// announcement that created the file indexes it, so posting lists
+		// stay duplicate-free even under concurrent identical offers.
+		if isNew {
 			if name, ok := f.Name(); ok {
 				for _, kw := range Tokenize(name) {
+					ks := s.kwShard(kw)
+					ks.mu.Lock()
 					// Bound per-keyword lists: popular keywords stay
 					// useful, pathological ones stop growing.
-					lst := s.keywords[kw]
-					if len(lst) < MaxPostingList {
-						s.keywords[kw] = append(lst, f.ID)
+					if lst := ks.keywords[kw]; len(lst) < MaxPostingList {
+						ks.keywords[kw] = append(lst, f.ID)
 					}
+					ks.mu.Unlock()
 				}
 			}
-		}
-		if s.addSource(idx, from, port, now) {
-			s.sources++
 		}
 		accepted++
 	}
 	return &ed2k.OfferAck{Accepted: accepted}
 }
 
-func (s *Server) addSource(idx *indexedFile, id ed2k.ClientID, port uint16, now simtime.Time) bool {
+// addSource registers or refreshes one provider; the caller holds the
+// file's shard write-locked.
+func addSource(idx *indexedFile, id ed2k.ClientID, port uint16, now simtime.Time) bool {
 	for i := range idx.sources {
 		if idx.sources[i].id == id {
 			idx.sources[i].lastSeen = now
@@ -207,8 +308,11 @@ func (s *Server) addSource(idx *indexedFile, id ed2k.ClientID, port uint16, now 
 func (s *Server) handleGetSources(now simtime.Time, m *ed2k.GetSources) []ed2k.Message {
 	var out []ed2k.Message
 	for _, h := range m.Hashes {
-		idx := s.files[h]
+		sh := s.fileShard(h)
+		sh.mu.RLock()
+		idx := sh.files[h]
 		if idx == nil {
+			sh.mu.RUnlock()
 			continue // unknown files are silently unanswered, like real servers
 		}
 		ans := &ed2k.FoundSources{Hash: h}
@@ -221,6 +325,7 @@ func (s *Server) handleGetSources(now simtime.Time, m *ed2k.GetSources) []ed2k.M
 				break
 			}
 		}
+		sh.mu.RUnlock()
 		if len(ans.Sources) > 0 {
 			out = append(out, ans)
 		}
@@ -231,41 +336,75 @@ func (s *Server) handleGetSources(now simtime.Time, m *ed2k.GetSources) []ed2k.M
 func (s *Server) handleSearch(m *ed2k.SearchReq) ed2k.Message {
 	res := &ed2k.SearchRes{}
 	kws := m.Expr.Keywords(nil)
+	if len(kws) == 0 {
+		return res
+	}
 	lowered := lowerExpr(m.Expr)
+
+	// Candidate set: the posting list of the rarest keyword. Each
+	// keyword's length is read under its home shard's lock; the chosen
+	// list is then snapshotted (bounded by MaxCandidates — entries past
+	// the scan bound can never matter) so candidate evaluation does not
+	// nest the posting shard's lock inside the file shards'.
+	best := ""
+	bestLen := 0
+	for _, kw := range kws {
+		kw = strings.ToLower(kw)
+		ks := s.kwShard(kw)
+		ks.mu.RLock()
+		lst, ok := ks.keywords[kw]
+		n := len(lst)
+		ks.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if best == "" || n < bestLen {
+			best, bestLen = kw, n
+		}
+	}
+	if best == "" {
+		return res
+	}
+	ks := s.kwShard(best)
+	ks.mu.RLock()
+	lst := ks.keywords[best]
+	if len(lst) > MaxCandidates {
+		lst = lst[:MaxCandidates]
+	}
+	candidates := append([]ed2k.FileID(nil), lst...)
+	ks.mu.RUnlock()
+
+	// Candidates come from a single posting list. Entries are unique at
+	// insertion, but the expiry sweep racing a re-announcement can
+	// briefly duplicate one — the (at most MaxSearchResults-long)
+	// result list is deduped instead of paying a set per search.
 	scanned := 0
-	// Candidates come from a single posting list, whose entries are
-	// unique by construction, so no dedup set is needed.
-	consider := func(id ed2k.FileID) bool {
+	for _, id := range candidates {
 		scanned++
-		idx := s.files[id]
-		if idx != nil && evalExpr(lowered, idx) {
+		sh := s.fileShard(id)
+		sh.mu.RLock()
+		if idx := sh.files[id]; idx != nil && !inResults(res.Results, id) && evalExpr(lowered, idx) {
 			entry := idx.entry
 			entry.Tags = append(append([]ed2k.Tag(nil), entry.Tags...),
 				ed2k.UintTag(ed2k.FTSources, uint32(len(idx.sources))))
 			res.Results = append(res.Results, entry)
 		}
-		return len(res.Results) < MaxSearchResults && scanned < MaxCandidates
-	}
-	if len(kws) > 0 {
-		// Candidate set: the posting list of the rarest keyword.
-		best := ""
-		for _, kw := range kws {
-			kw = strings.ToLower(kw)
-			lst, ok := s.keywords[kw]
-			if !ok {
-				continue
-			}
-			if best == "" || len(lst) < len(s.keywords[best]) {
-				best = kw
-			}
-		}
-		for _, id := range s.keywords[best] {
-			if !consider(id) {
-				break
-			}
+		sh.mu.RUnlock()
+		if len(res.Results) >= MaxSearchResults || scanned >= MaxCandidates {
+			break
 		}
 	}
 	return res
+}
+
+// inResults reports whether id already appears in the result list.
+func inResults(results []ed2k.FileEntry, id ed2k.FileID) bool {
+	for i := range results {
+		if results[i].ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // lowerExpr clones a search tree with all string operands lowered, so
@@ -283,7 +422,8 @@ func lowerExpr(e *ed2k.SearchExpr) *ed2k.SearchExpr {
 	return &out
 }
 
-// evalExpr evaluates a lowered search tree against a cached index entry.
+// evalExpr evaluates a lowered search tree against a cached index entry;
+// the caller holds the entry's shard read-locked.
 func evalExpr(e *ed2k.SearchExpr, idx *indexedFile) bool {
 	switch e.Kind {
 	case ed2k.KindKeyword:
@@ -315,41 +455,125 @@ func evalExpr(e *ed2k.SearchExpr, idx *indexedFile) bool {
 }
 
 // ExpireSources drops sources not re-announced within the TTL; servers
-// ran this periodically to keep answers fresh.
+// ran this periodically to keep answers fresh. The sweep also reclaims
+// everything a long-running daemon would otherwise leak: files left
+// with no live source are deleted, their fileIDs are stripped from the
+// keyword posting lists, and users idle past the TTL are forgotten.
+// Shards are swept one at a time, so concurrent Handle calls only ever
+// wait for one shard's sweep.
 func (s *Server) ExpireSources(now simtime.Time) {
 	if s.SourceTTL <= 0 {
 		return
 	}
-	for id, idx := range s.files {
-		kept := idx.sources[:0]
-		for _, src := range idx.sources {
-			if now-src.lastSeen <= s.SourceTTL {
-				kept = append(kept, src)
-			} else {
-				s.sources--
+	s.expireMu.Lock()
+	defer s.expireMu.Unlock()
+
+	deleted := make(map[ed2k.FileID]struct{})
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, idx := range sh.files {
+			kept := idx.sources[:0]
+			for _, src := range idx.sources {
+				if now-src.lastSeen <= s.SourceTTL {
+					kept = append(kept, src)
+				} else {
+					sh.sources--
+				}
+			}
+			idx.sources = kept
+			if len(kept) == 0 {
+				delete(sh.files, id)
+				deleted[id] = struct{}{}
 			}
 		}
-		idx.sources = kept
-		_ = id
+		for u, seen := range sh.users {
+			if now-seen > s.SourceTTL {
+				delete(sh.users, u)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(deleted) == 0 {
+		return
+	}
+	// Strip the deleted fileIDs from the posting lists. A file
+	// re-announced between the phases must keep its (re-added)
+	// postings, so absence is re-checked per entry; the brief race that
+	// can leave such a file's posting duplicated is tolerated by the
+	// search path's result dedup.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for kw, lst := range sh.keywords {
+			kept := lst[:0]
+			for _, id := range lst {
+				if _, dead := deleted[id]; dead && !s.fileExists(id, sh) {
+					continue
+				}
+				kept = append(kept, id)
+			}
+			if len(kept) == 0 {
+				delete(sh.keywords, kw)
+			} else {
+				sh.keywords[kw] = kept
+			}
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// Stats snapshots the counters.
+// fileExists reports whether id is indexed, callable while the caller
+// write-holds shard held (the same-shard case reads the map directly;
+// RWMutex is not reentrant).
+func (s *Server) fileExists(id ed2k.FileID, held *shard) bool {
+	sh := s.fileShard(id)
+	if sh == held {
+		_, ok := sh.files[id]
+		return ok
+	}
+	sh.mu.RLock()
+	_, ok := sh.files[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// counts aggregates the user and file gauges across shards (read path of
+// StatReq). The totals are a consistent-enough snapshot: each shard is
+// read under its lock, but the sum is not atomic across shards — the
+// same fuzziness a deployed server's status answer had.
+func (s *Server) counts() (users, files int) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		users += len(sh.users)
+		files += len(sh.files)
+		sh.mu.RUnlock()
+	}
+	return users, files
+}
+
+// Stats snapshots the counters, aggregating every shard on read.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Received:       make(map[string]uint64, len(s.received)),
-		Answered:       make(map[string]uint64, len(s.answered)),
-		IndexedFiles:   len(s.files),
-		IndexedSources: s.sources,
+		Received: make(map[string]uint64),
+		Answered: make(map[string]uint64),
 	}
-	for k, v := range s.received {
-		st.Received[k] = v
-	}
-	for k, v := range s.answered {
-		st.Answered[k] = v
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st.IndexedFiles += len(sh.files)
+		st.IndexedSources += sh.sources
+		st.Users += len(sh.users)
+		for k, v := range sh.received {
+			st.Received[k] += v
+		}
+		for k, v := range sh.answered {
+			st.Answered[k] += v
+		}
+		sh.mu.RUnlock()
 	}
 	return st
 }
 
 // Users reports the distinct clients seen.
-func (s *Server) Users() int { return len(s.users) }
+func (s *Server) Users() int {
+	users, _ := s.counts()
+	return users
+}

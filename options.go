@@ -32,6 +32,7 @@ type sessionOptions struct {
 	bytePair      [2]int
 	haveBytePair  bool
 	queueDepth    int
+	batchSize     int
 }
 
 // WithDataset streams the anonymised XML dataset to dir; gzip compresses
@@ -105,12 +106,29 @@ func WithFileBytePair(a, b int) Option {
 }
 
 // WithQueueDepth bounds the frame channel between the source and the
-// pipeline stage (default 1024 frames). A deeper queue absorbs burstier
-// sources at the cost of memory.
+// pipeline stage (default 1024 frames; rounded up to whole batches).
+// A deeper queue absorbs burstier sources at the cost of memory. The
+// total in-flight window also includes the producer's partial batch and
+// the batch the consumer is processing: up to n + 2×batch frames.
 func WithQueueDepth(n int) Option {
 	return func(o *sessionOptions) {
 		if n > 0 {
 			o.queueDepth = n
+		}
+	}
+}
+
+// WithBatchSize sets how many frames the source accumulates per channel
+// send (default 128, clamped to the queue depth). Batching amortises
+// the source→pipeline handoff to a fraction of a channel operation per
+// frame; the cost is latency — a slow source may hold a partial batch
+// of up to n-1 frames until its next flush (the stream end always
+// flushes). WithBatchSize(1) restores frame-at-a-time forwarding for
+// latency-sensitive live captures.
+func WithBatchSize(n int) Option {
+	return func(o *sessionOptions) {
+		if n > 0 {
+			o.batchSize = n
 		}
 	}
 }

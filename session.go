@@ -71,6 +71,7 @@ func NewSession(src Source, opts ...Option) *Session {
 	s := &Session{src: src}
 	s.o.progressEvery = 8192
 	s.o.queueDepth = 1024
+	s.o.batchSize = 128
 	for _, opt := range opts {
 		opt(&s.o)
 	}
@@ -158,25 +159,54 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 		}()
 	}
 
-	// Producer: the source fills a bounded channel; cancelling runCtx
-	// (user cancellation or a pipeline failure) unblocks it promptly.
+	// Producer: the source fills a bounded channel of frame *batches* —
+	// one channel operation amortised over batchSize frames, which is
+	// what keeps the channel hop out of the per-frame cost (measured in
+	// BenchmarkSessionPipeline against BenchmarkPipeline). Cancelling
+	// runCtx (user cancellation or a pipeline failure) unblocks it
+	// promptly. A partial batch is flushed when the source ends, so
+	// batching never loses frames; it can delay them (a trickling live
+	// source holds up to batchSize-1 frames until the next flush — use
+	// WithBatchSize(1) when per-frame latency matters more than
+	// throughput).
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	frames := make(chan frameItem, s.o.queueDepth)
+	batchSize := s.o.batchSize
+	if batchSize > s.o.queueDepth {
+		batchSize = s.o.queueDepth // a batch never exceeds the queue bound
+	}
+	depth := (s.o.queueDepth + batchSize - 1) / batchSize
+	frames := make(chan []frameItem, depth)
 	prodErr := make(chan error, 1)
 	go func() {
 		defer close(frames)
-		prodErr <- s.src.Frames(runCtx, func(t simtime.Time, frame []byte) error {
-			if cerr := runCtx.Err(); cerr != nil {
-				return cerr
+		batch := make([]frameItem, 0, batchSize)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
 			}
 			select {
-			case frames <- frameItem{t, frame}:
+			case frames <- batch:
+				batch = make([]frameItem, 0, batchSize)
 				return nil
 			case <-runCtx.Done():
 				return runCtx.Err()
 			}
+		}
+		err := s.src.Frames(runCtx, func(t simtime.Time, frame []byte) error {
+			if cerr := runCtx.Err(); cerr != nil {
+				return cerr
+			}
+			batch = append(batch, frameItem{t, frame})
+			if len(batch) < batchSize {
+				return nil
+			}
+			return flush()
 		})
+		if err == nil {
+			err = flush()
+		}
+		prodErr <- err
 	}()
 
 	// Consumer: the pipeline stage. Sequential today; the channel is the
@@ -188,30 +218,32 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 consume:
 	for {
 		select {
-		case f, ok := <-frames:
+		case batch, ok := <-frames:
 			if !ok {
 				break consume
 			}
-			if tee != nil {
-				if werr := tee.Write(pcap.RecordAt(f.t, f.data)); werr != nil {
-					pipeErr = werr
+			for _, f := range batch {
+				if tee != nil {
+					if werr := tee.Write(pcap.RecordAt(f.t, f.data)); werr != nil {
+						pipeErr = werr
+						cancel()
+						break consume
+					}
+				}
+				if perr := pipe.ProcessFrame(f.t, f.data); perr != nil {
+					pipeErr = perr
 					cancel()
 					break consume
 				}
-			}
-			if perr := pipe.ProcessFrame(f.t, f.data); perr != nil {
-				pipeErr = perr
-				cancel()
-				break consume
-			}
-			nframes++
-			lastT = f.t
-			if f.t-lastExpire > simtime.Minute {
-				pipe.ExpireReassembly(f.t)
-				lastExpire = f.t
-			}
-			if s.o.progress != nil && nframes%s.o.progressEvery == 0 {
-				s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: f.t})
+				nframes++
+				lastT = f.t
+				if f.t-lastExpire > simtime.Minute {
+					pipe.ExpireReassembly(f.t)
+					lastExpire = f.t
+				}
+				if s.o.progress != nil && nframes%s.o.progressEvery == 0 {
+					s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: f.t})
+				}
 			}
 		case <-ctx.Done():
 			pipeErr = ctx.Err()

@@ -26,7 +26,7 @@ func (m *recSink) Write(r *xmlenc.Record) error {
 // record streams via SimSource directly and via a pcap tee replayed
 // through a PcapSource.
 func TestSessionSimPcapParity(t *testing.T) {
-	sim := tinyConfig().Sim
+	sim := tinySim()
 	path := filepath.Join(t.TempDir(), "capture.pcap")
 
 	live := &recSink{}
@@ -80,7 +80,7 @@ func TestSessionSimPcapParity(t *testing.T) {
 // cancellation and still closes the dataset into a valid partial
 // capture.
 func TestSessionCancellation(t *testing.T) {
-	sim := tinyConfig().Sim
+	sim := tinySim()
 	sim.Workload.NumClients = 2000
 	sim.Workload.NumFiles = 20000
 	sim.Traffic.Duration = 10 * simtime.Week // far beyond test patience
@@ -134,7 +134,7 @@ func (f *failingSink) Write(*xmlenc.Record) error {
 // edtrace.Run had: a mid-run failure must still close the dataset writer
 // (manifest written, file handle released).
 func TestSessionClosesDatasetOnSinkError(t *testing.T) {
-	sim := tinyConfig().Sim
+	sim := tinySim()
 	dir := t.TempDir()
 	_, err := NewSession(NewSimSource(sim),
 		WithSink(&failingSink{after: 10}),

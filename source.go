@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"edtrace/internal/core"
+	"edtrace/internal/edserverd"
 	"edtrace/internal/pcap"
 	"edtrace/internal/simtime"
 )
@@ -144,4 +145,69 @@ func (p *PcapSource) reportCapture(rep *core.Report) {
 	rep.EthernetCaptured = p.frames
 	// Span, not absolute end: real captures carry Unix-epoch timestamps.
 	rep.VirtualDuration = p.last - p.first
+}
+
+// ServerSource captures a running edserverd daemon's own accepted
+// traffic: it installs itself as the daemon's tap — the software
+// equivalent of the port mirror in front of the paper's server — and
+// feeds every mirrored query and answer through the standard Session
+// pipeline. The loop this closes: our server daemon serves real TCP/UDP
+// load (cmd/edload), and our own capture infrastructure observes it
+// end-to-end, exactly the deployment of the paper's §2.
+//
+// The source drains until the daemon shuts down or Close is called;
+// like every source it is single-use. It inherits LiveSource's
+// kernel-buffer semantics: if the pipeline falls behind, overflowing
+// frames are dropped and counted as capture losses (Fig 2).
+type ServerSource struct {
+	*LiveSource
+	detach    func()
+	serverKey uint32
+}
+
+// NewServerSource attaches a capture to d (replacing any previous tap —
+// a daemon carries at most one) with a queue of queueFrames mirrored
+// messages (<= 0: the 4096 default). The daemon keeps serving untapped
+// after the capture ends, however it ends: Close, session cancellation,
+// or a pipeline failure all detach this source's tap (and only its own:
+// a successor capture attached meanwhile is left in place), so an
+// untapped daemon never keeps paying the mirror's encoding cost.
+func NewServerSource(d *edserverd.Daemon, queueFrames int) *ServerSource {
+	s := &ServerSource{
+		LiveSource: NewLiveSource(queueFrames),
+		serverKey:  d.ServerKey(),
+	}
+	s.detach = d.SetTap(func(srcKey, dstKey uint32, payload []byte) {
+		s.Mirror(srcKey, dstKey, payload)
+	})
+	go func() {
+		select {
+		case <-d.Done():
+			s.Close() // drain what is queued, then end the session
+		case <-s.done: // source closed first: nothing to watch for
+		}
+	}()
+	return s
+}
+
+// Close detaches the tap and ends the capture (Frames drains the queue
+// and returns).
+func (s *ServerSource) Close() {
+	s.detach()
+	s.LiveSource.Close()
+}
+
+// Frames implements Source; whatever ends the stream — Close, context
+// cancellation, an emit error — leaves the daemon untapped and the
+// daemon-watcher goroutine released (Close, not just detach: otherwise
+// a cancelled session would pin the watcher until daemon shutdown).
+func (s *ServerSource) Frames(ctx context.Context, emit EmitFunc) error {
+	defer s.Close()
+	return s.LiveSource.Frames(ctx, emit)
+}
+
+// pipelineDefaults identifies the daemon as the captured server, so the
+// session needs no WithServerIP.
+func (s *ServerSource) pipelineDefaults() (uint32, [2]int, bool) {
+	return s.serverKey, [2]int{5, 11}, true
 }
