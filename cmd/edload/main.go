@@ -6,10 +6,14 @@
 // request→answer lockstep — a run that exits 0 has verified every
 // answer arrived.
 //
+// -addr takes a comma-separated server list (a server.met): each
+// session picks a live server and fails over to the next on a connect
+// or answer failure, so a run survives individual server deaths.
+//
 // Usage:
 //
 //	edload -addr 127.0.0.1:4661 -clients 500
-//	edload -clients 2000 -max-msgs 100 -seed 9
+//	edload -addr 127.0.0.1:4661,127.0.0.1:5661 -clients 2000 -seed 9
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,7 +33,7 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:4661", "server TCP address")
+		addr    = flag.String("addr", "127.0.0.1:4661", "server TCP addresses, comma-separated in priority order")
 		nconn   = flag.Int("clients", 500, "concurrent TCP client sessions")
 		seed    = flag.Uint64("seed", 1, "population seed")
 		files   = flag.Int("files", 2000, "synthetic catalog size")
@@ -47,15 +52,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	st, err := edload.Run(ctx, edload.Config{
-		Addr:                 *addr,
+		Addrs:                strings.Split(*addr, ","),
 		Clients:              *nconn,
 		Workload:             wl,
 		Traffic:              clients.DefaultTraffic(),
 		MaxMessagesPerClient: *maxMsgs,
 		Logf:                 logf,
 	})
-	fmt.Printf("%d clients: %d sent, %d answered (%d offers, %d searches, %d asks, %d sources found) in %v — %.0f msgs/s round-trip\n",
-		st.Clients, st.Sent, st.Answers, st.Offers, st.Searches, st.Asks, st.Found,
+	fmt.Printf("%d clients: %d sent, %d answered (%d offers, %d searches, %d asks, %d sources found, %d failovers) in %v — %.0f msgs/s round-trip\n",
+		st.Clients, st.Sent, st.Answers, st.Offers, st.Searches, st.Asks, st.Found, st.Failovers,
 		st.Wall.Round(time.Millisecond), st.MsgsPerSec())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edload:", err)

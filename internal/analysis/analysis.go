@@ -36,16 +36,47 @@ type Collector struct {
 	askPairs     []uint64 // fileID<<32 | client, from GetSources
 	sizes        map[uint32]uint64
 	records      uint64
+	perServer    map[string]*ServerTally
+}
+
+// ServerTally is one server's share of a merged multi-server dataset,
+// grouped by the records' provenance tags.
+type ServerTally struct {
+	Server  string
+	Records uint64
+	Queries uint64
+	Answers uint64
+	// Clients counts distinct clients seen in this server's dialogs.
+	Clients int
+
+	clients map[uint32]struct{}
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{sizes: make(map[uint32]uint64)}
+	return &Collector{
+		sizes:     make(map[uint32]uint64),
+		perServer: make(map[string]*ServerTally),
+	}
 }
 
 // Write implements core.RecordSink / dataset.ForEach callbacks.
 func (c *Collector) Write(r *xmlenc.Record) error {
 	c.records++
+	if r.Server != "" {
+		st := c.perServer[r.Server]
+		if st == nil {
+			st = &ServerTally{Server: r.Server, clients: make(map[uint32]struct{})}
+			c.perServer[r.Server] = st
+		}
+		st.Records++
+		if r.Dir == xmlenc.DirQuery {
+			st.Queries++
+		} else {
+			st.Answers++
+		}
+		st.clients[r.Client] = struct{}{}
+	}
 	switch r.Op {
 	case "OfferFiles":
 		for i := range r.Files {
@@ -100,6 +131,10 @@ type Figures struct {
 	ProvideAskCorr float64
 	// BothActive counts clients that both provide and ask.
 	BothActive int
+
+	// PerServer groups a merged multi-server dataset by its provenance
+	// tags, sorted by server name; empty for single-server datasets.
+	PerServer []ServerTally
 }
 
 // Finalize deduplicates and histograms everything.
@@ -133,6 +168,15 @@ func (c *Collector) Finalize() *Figures {
 	if fit, err := stats.FitPowerLaw(f.Fig7); err == nil {
 		f.Fit7 = fit
 	}
+	for _, st := range c.perServer {
+		t := *st
+		t.Clients = len(st.clients)
+		t.clients = nil
+		f.PerServer = append(f.PerServer, t)
+	}
+	sort.Slice(f.PerServer, func(i, j int) bool {
+		return f.PerServer[i].Server < f.PerServer[j].Server
+	})
 	return f
 }
 
@@ -321,6 +365,13 @@ func (f *Figures) Render() string {
 		}
 		fmt.Fprintf(&b, "    peak at %d KB (%.0f MB): %d files, prominence %.1fx\n",
 			p.V, float64(p.V)/1024, p.C, p.Prominence)
+	}
+	if len(f.PerServer) > 0 {
+		b.WriteString("\n  per-server breakdown (merged mesh capture):\n")
+		for _, st := range f.PerServer {
+			fmt.Fprintf(&b, "    %-16s %8d records (%d queries, %d answers), %d distinct clients\n",
+				st.Server, st.Records, st.Queries, st.Answers, st.Clients)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,237 @@
+package clients
+
+// This file is the client side of the mesh story: the dynamic server
+// list every real eDonkey client carries (server.met and the
+// ED2KServerManager of the era's clients). A client holds several known
+// servers ordered by priority, connects to the best one, and on a
+// connect or answer failure marks it down and reconnects elsewhere —
+// which is exactly what edload's failover loop needs.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// serverState is the mutable book-keeping for one known server.
+type serverState struct {
+	addr      string
+	name      string
+	priority  int // lower is preferred, as in server.met
+	fails     int // consecutive failures
+	succs     uint64
+	users     uint32
+	files     uint32
+	latency   time.Duration // last successful round-trip
+	deadUntil time.Time     // zero when alive
+}
+
+// ServerInfo is a read-only snapshot row of the manager's list.
+type ServerInfo struct {
+	Addr     string
+	Name     string
+	Priority int
+	Fails    int
+	Succs    uint64
+	Users    uint32
+	Files    uint32
+	Latency  time.Duration
+	Dead     bool
+}
+
+// ServerManager is a concurrency-safe dynamic server list. Pick returns
+// the preferred live server; Report* feed outcomes back so the
+// preference order adapts during a run.
+type ServerManager struct {
+	mu      sync.Mutex
+	servers []*serverState
+	byAddr  map[string]*serverState
+	rr      int
+
+	// failLimit consecutive failures mark a server dead for deadFor.
+	failLimit int
+	deadFor   time.Duration
+}
+
+// NewServerManager builds a list from TCP addresses. All servers start
+// at equal priority — like a fresh server.met — so Pick's round-robin
+// spreads a swarm of clients across them; SetPriority orders the list
+// when a caller wants strict preference instead.
+func NewServerManager(addrs ...string) (*ServerManager, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("clients: empty server list")
+	}
+	m := &ServerManager{
+		byAddr:    make(map[string]*serverState, len(addrs)),
+		failLimit: 3,
+		deadFor:   30 * time.Second,
+	}
+	for i, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("clients: empty server address at %d", i)
+		}
+		if m.byAddr[a] != nil {
+			continue
+		}
+		s := &serverState{addr: a}
+		m.servers = append(m.servers, s)
+		m.byAddr[a] = s
+	}
+	return m, nil
+}
+
+// SetPriority reorders one server (lower is preferred, as in
+// server.met). Unknown addresses are ignored.
+func (m *ServerManager) SetPriority(addr string, priority int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.byAddr[addr]; s != nil {
+		s.priority = priority
+	}
+}
+
+// SetDeadPolicy overrides how many consecutive failures kill a server
+// and for how long. Zero values keep the current setting.
+func (m *ServerManager) SetDeadPolicy(failLimit int, deadFor time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failLimit > 0 {
+		m.failLimit = failLimit
+	}
+	if deadFor > 0 {
+		m.deadFor = deadFor
+	}
+}
+
+// Len returns the number of distinct servers on the list.
+func (m *ServerManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.servers)
+}
+
+// Pick returns the preferred server address: the live server with the
+// best (priority, consecutive fails) order, round-robining across ties
+// so a swarm of clients spreads over equally-good servers. The avoid
+// address (typically the one that just failed) is skipped when any
+// alternative exists. When every server is dead the least-recently
+// condemned one is revived — a client with a server list never simply
+// gives up, it retries the best bad option.
+func (m *ServerManager) Pick(avoid string) string {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var cands []*serverState
+	for _, s := range m.servers {
+		if !s.deadUntil.IsZero() && now.Before(s.deadUntil) {
+			continue
+		}
+		if s.addr == avoid && len(m.servers) > 1 {
+			continue
+		}
+		cands = append(cands, s)
+	}
+	if len(cands) == 0 {
+		// All dead: revive the one whose sentence expires first.
+		best := m.servers[0]
+		for _, s := range m.servers[1:] {
+			if s.addr == avoid && len(m.servers) > 1 {
+				continue
+			}
+			if best.addr == avoid || s.deadUntil.Before(best.deadUntil) {
+				best = s
+			}
+		}
+		best.deadUntil = time.Time{}
+		best.fails = 0
+		return best.addr
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].priority != cands[j].priority {
+			return cands[i].priority < cands[j].priority
+		}
+		return cands[i].fails < cands[j].fails
+	})
+	// Round-robin across the servers tied with the best.
+	tied := 1
+	for tied < len(cands) &&
+		cands[tied].priority == cands[0].priority &&
+		cands[tied].fails == cands[0].fails {
+		tied++
+	}
+	s := cands[m.rr%tied]
+	m.rr++
+	return s.addr
+}
+
+// ReportSuccess records a successful answer round-trip: it clears the
+// consecutive-failure count and revives a dead server.
+func (m *ServerManager) ReportSuccess(addr string, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.byAddr[addr]
+	if s == nil {
+		return
+	}
+	s.fails = 0
+	s.succs++
+	s.deadUntil = time.Time{}
+	if latency > 0 {
+		s.latency = latency
+	}
+}
+
+// ReportFailure records a connect or answer failure; at the fail limit
+// the server is marked dead for the configured backoff.
+func (m *ServerManager) ReportFailure(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.byAddr[addr]
+	if s == nil {
+		return
+	}
+	s.fails++
+	if s.fails >= m.failLimit {
+		s.deadUntil = time.Now().Add(m.deadFor)
+	}
+}
+
+// ReportCounts stores the user/file counts a StatRes (or server
+// description) carried, mirroring the counts column of a server list.
+func (m *ServerManager) ReportCounts(addr, name string, users, files uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.byAddr[addr]
+	if s == nil {
+		return
+	}
+	if name != "" {
+		s.name = name
+	}
+	s.users = users
+	s.files = files
+}
+
+// Snapshot returns the list in priority order.
+func (m *ServerManager) Snapshot() []ServerInfo {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ServerInfo, 0, len(m.servers))
+	for _, s := range m.servers {
+		out = append(out, ServerInfo{
+			Addr:     s.addr,
+			Name:     s.name,
+			Priority: s.priority,
+			Fails:    s.fails,
+			Succs:    s.succs,
+			Users:    s.users,
+			Files:    s.files,
+			Latency:  s.latency,
+			Dead:     !s.deadUntil.IsZero() && now.Before(s.deadUntil),
+		})
+	}
+	return out
+}

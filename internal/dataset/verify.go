@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"strings"
 
 	"edtrace/internal/xmlenc"
 )
@@ -30,11 +31,20 @@ const maxViolations = 20
 
 // Verify streams the dataset at dir and checks every released-data
 // invariant: monotone timestamps, known ops, dense anonymised IDs
-// consistent with the manifest counters, hex-only hashes, KB sizes.
+// consistent with the manifest counters, hex-only hashes, KB sizes. A
+// merged multi-server dataset (manifest meta "servers") additionally
+// requires every record's srv provenance tag to name a declared server.
 func Verify(dir string) (*VerifyReport, error) {
 	man, err := Open(dir)
 	if err != nil {
 		return nil, err
+	}
+	var servers map[string]bool
+	if s := man.Meta["servers"]; s != "" {
+		servers = make(map[string]bool)
+		for _, name := range strings.Split(s, ",") {
+			servers[name] = true
+		}
 	}
 	rep := &VerifyReport{}
 	add := func(format string, args ...any) {
@@ -65,6 +75,11 @@ func Verify(dir string) (*VerifyReport, error) {
 		lastT = r.T
 		if !knownOps[r.Op] {
 			add("record %d: unknown op %q", rep.Records, r.Op)
+		}
+		if servers != nil && !servers[r.Server] {
+			add("record %d: srv tag %q not among declared servers", rep.Records, r.Server)
+		} else if servers == nil && r.Server != "" {
+			add("record %d: srv tag %q in a single-server dataset", rep.Records, r.Server)
 		}
 		noteClient(r.Client)
 		for _, f := range r.FileRefs {

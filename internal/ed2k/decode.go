@@ -66,6 +66,20 @@ func ValidateStructure(raw []byte) error {
 		if n < 4 {
 			return structuralf("ServerDescRes payload %d < 4", n)
 		}
+	case OpMeshAnnounce:
+		// count + one fixed-size entry with an empty name minimum.
+		if n < 1+meshPeerFixedSize {
+			return structuralf("MeshAnnounce payload %d < %d", n, 1+meshPeerFixedSize)
+		}
+	case OpMeshForward:
+		// reqID + a nested datagram header minimum.
+		if n < 6 {
+			return structuralf("MeshForward payload %d < 6", n)
+		}
+	case OpMeshForwardRes:
+		if n < 5 {
+			return structuralf("MeshForwardRes payload %d < 5", n)
+		}
 	default:
 		return structuralf("unknown opcode 0x%02X", op)
 	}
@@ -114,6 +128,12 @@ func Decode(raw []byte) (Message, error) {
 		m = ServerDescReq{}
 	case OpServerDescRes:
 		m, err = decodeServerDescRes(r)
+	case OpMeshAnnounce:
+		m, err = decodeMeshAnnounce(r)
+	case OpMeshForward:
+		m, err = decodeMeshForward(r)
+	case OpMeshForwardRes:
+		m, err = decodeMeshForwardRes(r)
 	}
 	if err != nil {
 		return nil, err

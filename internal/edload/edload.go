@@ -27,6 +27,15 @@ import (
 type Config struct {
 	// Addr is the server's TCP address.
 	Addr string
+	// Addrs, when set, wins over Addr: a server list in priority order,
+	// as a client's server.met. Each session connects to the best live
+	// server and fails over to another on a connect or answer failure.
+	Addrs []string
+	// FailoverAttempts bounds reconnects per session (<= 0: 2×servers+1).
+	FailoverAttempts int
+	// AnswerTimeout bounds each answer read; hitting it is a server
+	// failure that triggers failover (default 15s).
+	AnswerTimeout time.Duration
 	// Clients is the number of concurrent TCP client sessions. Sessions
 	// replay the first Clients plans of the generated population (the
 	// population config's NumClients should be >= Clients; it is raised
@@ -47,16 +56,19 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Stats aggregates a completed run.
+// Stats aggregates a completed run. Sent and Answers count wire truth:
+// a failover replays the unsettled tail of a session on the next
+// server, and those replays are counted like any other message.
 type Stats struct {
-	Clients  int
-	Sent     uint64 // messages written, logins and fences included
-	Answers  uint64 // messages read back
-	Offers   uint64
-	Searches uint64
-	Asks     uint64 // GetSources messages (each carries >= 1 hash)
-	Found    uint64 // FoundSources answers received
-	Wall     time.Duration
+	Clients   int
+	Sent      uint64 // messages written, logins and fences included
+	Answers   uint64 // messages read back
+	Offers    uint64
+	Searches  uint64
+	Asks      uint64 // GetSources messages (each carries >= 1 hash)
+	Found     uint64 // FoundSources answers received
+	Failovers uint64 // session reconnects to a different server
+	Wall      time.Duration
 }
 
 // MsgsPerSec is the end-to-end round-trip rate of the run.
@@ -67,12 +79,22 @@ func (s Stats) MsgsPerSec() float64 {
 	return float64(s.Sent+s.Answers) / 2 / s.Wall.Seconds()
 }
 
-// Run executes the swarm against cfg.Addr until every session finishes
-// its plan, any session fails, or ctx is cancelled. The returned stats
-// are valid even on error (they count what happened up to the failure).
+// Run executes the swarm against the configured server list until every
+// session finishes its plan, any session exhausts its failovers, or ctx
+// is cancelled. The returned stats are valid even on error (they count
+// what happened up to the failure).
 func Run(ctx context.Context, cfg Config) (Stats, error) {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
+	}
+	if len(cfg.Addrs) == 0 {
+		cfg.Addrs = []string{cfg.Addr}
+	}
+	if cfg.FailoverAttempts <= 0 {
+		cfg.FailoverAttempts = 2*len(cfg.Addrs) + 1
+	}
+	if cfg.AnswerTimeout <= 0 {
+		cfg.AnswerTimeout = 15 * time.Second
 	}
 	if cfg.Workload.NumClients < cfg.Clients {
 		cfg.Workload.NumClients = cfg.Clients
@@ -98,19 +120,24 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		return Stats{}, err
 	}
 	planner := clients.NewPlanner(cat, cfg.Traffic)
+	mgr, err := clients.NewServerManager(cfg.Addrs...)
+	if err != nil {
+		return Stats{}, err
+	}
 	if cfg.Logf != nil {
-		cfg.Logf("edload: %d clients against %s (catalog %d files)",
-			cfg.Clients, cfg.Addr, len(cat.Files))
+		cfg.Logf("edload: %d clients against %d server(s) %v (catalog %d files)",
+			cfg.Clients, mgr.Len(), cfg.Addrs, len(cat.Files))
 	}
 
 	var (
-		stats   Stats
-		sent    atomic.Uint64
-		answers atomic.Uint64
-		offers  atomic.Uint64
-		search  atomic.Uint64
-		asks    atomic.Uint64
-		found   atomic.Uint64
+		stats     Stats
+		sent      atomic.Uint64
+		answers   atomic.Uint64
+		offers    atomic.Uint64
+		search    atomic.Uint64
+		asks      atomic.Uint64
+		found     atomic.Uint64
+		failovers atomic.Uint64
 	)
 	start := time.Now()
 	root := randx.New(cfg.Workload.Seed, 0xED10AD)
@@ -125,13 +152,15 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		go func(i int, r *randx.Rand) {
 			defer wg.Done()
 			s := &session{
-				cfg:     &cfg,
-				sent:    &sent,
-				answers: &answers,
-				offers:  &offers,
-				search:  &search,
-				asks:    &asks,
-				found:   &found,
+				cfg:       &cfg,
+				mgr:       mgr,
+				sent:      &sent,
+				answers:   &answers,
+				offers:    &offers,
+				search:    &search,
+				asks:      &asks,
+				found:     &found,
+				failovers: &failovers,
 			}
 			c := &pop.Clients[i]
 			plan := planner.Messages(c, r, cfg.MaxMessagesPerClient)
@@ -153,6 +182,7 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	stats.Searches = search.Load()
 	stats.Asks = asks.Load()
 	stats.Found = found.Load()
+	stats.Failovers = failovers.Load()
 	stats.Wall = time.Since(start)
 	select {
 	case err := <-errc:
@@ -169,21 +199,64 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	return stats, nil
 }
 
-// session is one TCP client connection replaying one plan.
+// session is one TCP client replaying one plan, reconnecting across
+// servers on failure. Progress is tracked as (next plan index, the
+// unsettled GetSources tail): settle points — an OfferAck, a SearchRes
+// or a fence StatRes, all in-order answers — prove every prior answer
+// on that connection arrived, so after a failover only the unsettled
+// tail needs replaying on the next server.
 type session struct {
 	cfg *Config
+	mgr *clients.ServerManager
 
-	sent, answers, offers, search, asks, found *atomic.Uint64
+	sent, answers, offers, search, asks, found, failovers *atomic.Uint64
 
 	conn     net.Conn
 	bw       *bufio.Writer
 	sr       *ed2k.StreamReader
 	fenceSeq uint32
+
+	idx       int                // next plan message to send
+	unsettled []*ed2k.GetSources // sent but not yet settled by a fence
 }
 
 func (s *session) run(ctx context.Context, plan []ed2k.Message) error {
+	avoid := ""
+	var lastErr error
+	for try := 0; try <= s.cfg.FailoverAttempts; try++ {
+		if ctx.Err() != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return ctx.Err()
+		}
+		addr := s.mgr.Pick(avoid)
+		if try > 0 {
+			s.failovers.Add(1)
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("edload: failing over to %s at plan %d/%d (%v)",
+					addr, s.idx, len(plan), lastErr)
+			}
+		}
+		err := s.runOn(ctx, addr, plan)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		s.mgr.ReportFailure(addr)
+		if ctx.Err() != nil {
+			return lastErr
+		}
+		avoid = addr
+	}
+	return fmt.Errorf("failovers exhausted: %w", lastErr)
+}
+
+// runOn drives the plan on one server connection: handshake, replay of
+// the unsettled tail, then the remaining plan from s.idx.
+func (s *session) runOn(ctx context.Context, addr string, plan []ed2k.Message) error {
 	d := net.Dialer{Timeout: s.cfg.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp4", s.cfg.Addr)
+	conn, err := d.DialContext(ctx, "tcp4", addr)
 	if err != nil {
 		return err
 	}
@@ -196,13 +269,15 @@ func (s *session) run(ctx context.Context, plan []ed2k.Message) error {
 	s.bw = bufio.NewWriterSize(conn, 16<<10)
 	s.sr = ed2k.NewStreamReader(conn)
 
-	// Handshake.
+	// Handshake; its round-trip doubles as the server's health probe.
+	login := time.Now()
 	if err := s.send(&ed2k.LoginRequest{Nick: "edload", Port: 4662}); err != nil {
 		return err
 	}
-	if _, err := s.expect(func(m ed2k.Message) bool { _, ok := m.(*ed2k.IDChange); return ok }); err != nil {
+	if _, err := s.expect(isType[*ed2k.IDChange]); err != nil {
 		return fmt.Errorf("login: %w", err)
 	}
+	s.mgr.ReportSuccess(addr, time.Since(login))
 
 	// maxOutstandingHashes bounds the asked-for hashes in flight before
 	// a fence forces a drain: a long all-ask run otherwise writes
@@ -213,7 +288,18 @@ func (s *session) run(ctx context.Context, plan []ed2k.Message) error {
 	// ≤~330 B per answer stays far below any default buffer size.
 	const maxOutstandingHashes = 96
 	outstanding := 0
-	for _, msg := range plan {
+
+	// Replay the unsettled tail from the failed connection: queries are
+	// idempotent, and the tail is bounded by the fence cadence.
+	for _, q := range s.unsettled {
+		if err := s.send(q); err != nil {
+			return err
+		}
+		outstanding += len(q.Hashes)
+	}
+
+	for s.idx < len(plan) {
+		msg := plan[s.idx]
 		if err := s.send(msg); err != nil {
 			return err
 		}
@@ -223,40 +309,53 @@ func (s *session) run(ctx context.Context, plan []ed2k.Message) error {
 			if _, err := s.expect(isType[*ed2k.OfferAck]); err != nil {
 				return fmt.Errorf("offer: %w", err)
 			}
-			outstanding = 0 // the in-order OfferAck drained everything prior
+			// The in-order OfferAck drained and settled everything prior.
+			outstanding = 0
+			s.unsettled = s.unsettled[:0]
 		case *ed2k.SearchReq:
 			s.search.Add(1)
 			if _, err := s.expect(isType[*ed2k.SearchRes]); err != nil {
 				return fmt.Errorf("search: %w", err)
 			}
 			outstanding = 0
+			s.unsettled = s.unsettled[:0]
 		case *ed2k.GetSources:
 			// Variable answer count (one FoundSources per known hash);
 			// drained by expect's FoundSources accounting and settled by
-			// the next fence.
+			// the next fence. Unsettled until then: a connection failure
+			// replays it.
 			s.asks.Add(1)
+			s.unsettled = append(s.unsettled, m)
 			outstanding += len(m.Hashes)
 			if outstanding >= maxOutstandingHashes {
-				if err := s.fence(); err != nil {
+				if err := s.fence(addr); err != nil {
 					return err
 				}
 				outstanding = 0
+				s.unsettled = s.unsettled[:0]
 			}
 		default:
 			return fmt.Errorf("plan contains unexpected %T", msg)
 		}
+		s.idx++
 	}
 
 	// Final fence: its answer is the last in-order message, proving
 	// every prior answer has been received and counted.
-	return s.fence()
+	if err := s.fence(addr); err != nil {
+		return err
+	}
+	s.unsettled = s.unsettled[:0]
+	return nil
 }
 
 // fence sends a StatReq and reads until its StatRes arrives — an
-// in-order sync point that drains every pending FoundSources.
-func (s *session) fence() error {
+// in-order sync point that drains every pending FoundSources. Its
+// round-trip and counts feed the server manager.
+func (s *session) fence(addr string) error {
 	s.fenceSeq++
 	challenge := uint32(0xFE000000) | s.fenceSeq
+	sent := time.Now()
 	if err := s.send(&ed2k.StatReq{Challenge: challenge}); err != nil {
 		return err
 	}
@@ -264,9 +363,12 @@ func (s *session) fence() error {
 	if err != nil {
 		return fmt.Errorf("fence: %w", err)
 	}
-	if got := m.(*ed2k.StatRes).Challenge; got != challenge {
-		return fmt.Errorf("fence challenge %#x, want %#x", got, challenge)
+	res := m.(*ed2k.StatRes)
+	if res.Challenge != challenge {
+		return fmt.Errorf("fence challenge %#x, want %#x", res.Challenge, challenge)
 	}
+	s.mgr.ReportSuccess(addr, time.Since(sent))
+	s.mgr.ReportCounts(addr, "", res.Users, res.Files)
 	return nil
 }
 
@@ -280,12 +382,16 @@ func (s *session) send(m ed2k.Message) error {
 
 // expect flushes pending writes and reads until a message satisfying
 // want arrives, counting the FoundSources answers that interleave from
-// earlier GetSources queries.
+// earlier GetSources queries. Every read carries the answer timeout: a
+// server that stops answering is a failed server, not a hung client.
 func (s *session) expect(want func(ed2k.Message) bool) (ed2k.Message, error) {
 	if err := s.bw.Flush(); err != nil {
 		return nil, err
 	}
 	for {
+		if err := s.conn.SetReadDeadline(time.Now().Add(s.cfg.AnswerTimeout)); err != nil {
+			return nil, err
+		}
 		m, err := s.sr.Next()
 		if err != nil {
 			return nil, err

@@ -38,6 +38,24 @@ import (
 // must not retain payload beyond the call unless it owns it.
 type TapFunc func(srcKey, dstKey uint32, payload []byte)
 
+// PeerHandlerFunc intercepts one decoded UDP message before client
+// handling — the hook a mesh layer uses to consume server-to-server
+// traffic (announcements, forwards) on the daemon's existing UDP path.
+// Return true to consume the message: consumed messages are counted as
+// peer traffic and never reach the mirror tap or the index. Called from
+// the UDP read loop; must be fast or dispatch its own goroutine.
+type PeerHandlerFunc func(from *net.UDPAddr, msg ed2k.Message) bool
+
+// ResolverFunc rewrites the daemon's answer set for one client query
+// before it is sent — the hook a mesh layer uses to forward GetSources
+// and search misses to peers. It receives the locally computed answers
+// and returns the complete replacement list (usually local plus merged
+// peer answers). It runs synchronously on the serving goroutine, so the
+// per-connection request→answer ordering still holds; implementations
+// must bound their own latency (a per-request timeout) and honour ctx,
+// which is the daemon's lifetime.
+type ResolverFunc func(ctx context.Context, msg ed2k.Message, local []ed2k.Message) []ed2k.Message
+
 // Config parameterises a daemon. The zero value listens on ephemeral
 // loopback ports with default sizing.
 type Config struct {
@@ -83,6 +101,9 @@ type Stats struct {
 	TCPMsgs uint64
 	UDPMsgs uint64
 	Answers uint64
+	// PeerMsgs counts UDP messages consumed by the peer handler (mesh
+	// announcements and forwards — never client traffic).
+	PeerMsgs uint64
 	// BadMsgs counts undecodable inputs (TCP framing kills the
 	// connection; UDP datagrams are dropped individually).
 	BadMsgs uint64
@@ -92,10 +113,12 @@ type Stats struct {
 
 // Daemon is one running eDonkey server instance.
 type Daemon struct {
-	cfg   Config
-	srv   *server.Server
-	start time.Time
-	tap   atomic.Pointer[TapFunc]
+	cfg      Config
+	srv      *server.Server
+	start    time.Time
+	tap      atomic.Pointer[TapFunc]
+	peer     atomic.Pointer[PeerHandlerFunc]
+	resolver atomic.Pointer[ResolverFunc]
 
 	tcpLn   *net.TCPListener
 	udpConn *net.UDPConn
@@ -107,8 +130,8 @@ type Daemon struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	nConns, nLogins, nTCP, nUDP, nAns, nBad atomic.Uint64
-	active                                  atomic.Int64
+	nConns, nLogins, nTCP, nUDP, nAns, nBad, nPeer atomic.Uint64
+	active                                         atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -254,14 +277,15 @@ func (d *Daemon) Uptime() time.Duration { return time.Since(d.start) }
 // Stats snapshots the daemon and index counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
-		Conns:   d.nConns.Load(),
-		Active:  d.active.Load(),
-		Logins:  d.nLogins.Load(),
-		TCPMsgs: d.nTCP.Load(),
-		UDPMsgs: d.nUDP.Load(),
-		Answers: d.nAns.Load(),
-		BadMsgs: d.nBad.Load(),
-		Server:  d.srv.Stats(),
+		Conns:    d.nConns.Load(),
+		Active:   d.active.Load(),
+		Logins:   d.nLogins.Load(),
+		TCPMsgs:  d.nTCP.Load(),
+		UDPMsgs:  d.nUDP.Load(),
+		Answers:  d.nAns.Load(),
+		PeerMsgs: d.nPeer.Load(),
+		BadMsgs:  d.nBad.Load(),
+		Server:   d.srv.Stats(),
 	}
 }
 
@@ -395,6 +419,7 @@ func (d *Daemon) serveConn(conn *net.TCPConn) {
 		default:
 			d.mirror(clientKey, serverKey, msg)
 			answers = d.srv.Handle(now, clientID, clientPort, msg)
+			answers = d.resolveMisses(msg, answers)
 		}
 
 		out = out[:0]
@@ -433,18 +458,61 @@ func (d *Daemon) udpLoop() {
 			d.nBad.Add(1)
 			continue
 		}
+		if ph := d.peer.Load(); ph != nil && (*ph)(from, msg) {
+			d.nPeer.Add(1)
+			continue // peer traffic: not a client dialog, never mirrored
+		}
 		d.nUDP.Add(1)
 		clientKey := AddrKey(from.IP, from.Port)
 		d.mirror(clientKey, serverKey, msg)
-		answers := d.srv.Handle(d.now(), ed2k.ClientID(clientKey), uint16(from.Port), msg)
-		d.nAns.Add(uint64(len(answers)))
-		for _, a := range answers {
-			d.mirror(serverKey, clientKey, a)
-			if _, err := d.udpConn.WriteToUDP(ed2k.Encode(a), from); err != nil && d.ctx.Err() == nil {
-				d.logf("edserverd: udp write: %v", err)
-			}
+		if d.resolver.Load() != nil && resolvable(msg) {
+			// A resolver may block up to its forward timeout waiting on
+			// peers; answering on the read loop would wedge the loop —
+			// including the very MeshForwardRes it is waiting for. Each
+			// resolvable UDP query gets its own goroutine (decoded
+			// messages and the UDP addr do not alias the read buffer).
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				d.answerUDP(msg, from, clientKey, serverKey)
+			}()
+			continue
+		}
+		d.answerUDP(msg, from, clientKey, serverKey)
+	}
+}
+
+// answerUDP runs one decoded client datagram through the index (and the
+// resolver, when installed) and writes the answers back.
+func (d *Daemon) answerUDP(msg ed2k.Message, from *net.UDPAddr, clientKey, serverKey uint32) {
+	answers := d.srv.Handle(d.now(), ed2k.ClientID(clientKey), uint16(from.Port), msg)
+	answers = d.resolveMisses(msg, answers)
+	d.nAns.Add(uint64(len(answers)))
+	for _, a := range answers {
+		d.mirror(serverKey, clientKey, a)
+		if _, err := d.udpConn.WriteToUDP(ed2k.Encode(a), from); err != nil && d.ctx.Err() == nil {
+			d.logf("edserverd: udp write: %v", err)
 		}
 	}
+}
+
+// resolvable reports whether a query's misses can be forwarded to peers.
+func resolvable(msg ed2k.Message) bool {
+	switch msg.(type) {
+	case *ed2k.GetSources, *ed2k.SearchReq:
+		return true
+	}
+	return false
+}
+
+// resolveMisses hands the locally computed answers to the installed
+// resolver (if any) for peer-side completion.
+func (d *Daemon) resolveMisses(msg ed2k.Message, local []ed2k.Message) []ed2k.Message {
+	r := d.resolver.Load()
+	if r == nil || !resolvable(msg) {
+		return local
+	}
+	return (*r)(d.ctx, msg, local)
 }
 
 // SetTap installs the traffic mirror at runtime — how
@@ -463,6 +531,54 @@ func (d *Daemon) SetTap(fn TapFunc) (detach func()) {
 	return func() { d.tap.CompareAndSwap(p, nil) }
 }
 
+// SetPeerHandler installs the server-to-server message interceptor (see
+// PeerHandlerFunc), with the same replace/CAS-detach contract as SetTap.
+func (d *Daemon) SetPeerHandler(fn PeerHandlerFunc) (detach func()) {
+	if fn == nil {
+		d.peer.Store(nil)
+		return func() {}
+	}
+	p := &fn
+	d.peer.Store(p)
+	return func() { d.peer.CompareAndSwap(p, nil) }
+}
+
+// SetResolver installs the miss resolver (see ResolverFunc), with the
+// same replace/CAS-detach contract as SetTap.
+func (d *Daemon) SetResolver(fn ResolverFunc) (detach func()) {
+	if fn == nil {
+		d.resolver.Store(nil)
+		return func() {}
+	}
+	p := &fn
+	d.resolver.Store(p)
+	return func() { d.resolver.CompareAndSwap(p, nil) }
+}
+
+// WriteUDP sends one raw datagram from the daemon's UDP socket — the
+// mesh layer speaks to peers from the same address it receives on, so a
+// peer's replies route back through the peer handler. Safe for
+// concurrent use.
+func (d *Daemon) WriteUDP(payload []byte, to *net.UDPAddr) error {
+	if d.udpConn == nil {
+		return errors.New("edserverd: UDP disabled")
+	}
+	_, err := d.udpConn.WriteToUDP(payload, to)
+	return err
+}
+
+// AnswerRemote answers a peer-forwarded query from the local index only
+// (server.HandleRemote): no user registration, no further forwarding.
+func (d *Daemon) AnswerRemote(msg ed2k.Message) []ed2k.Message {
+	return d.srv.HandleRemote(d.now(), msg)
+}
+
+// Name returns the configured server name.
+func (d *Daemon) Name() string { return d.cfg.Name }
+
+// IndexCounts reports the index gauges a mesh announcement carries.
+func (d *Daemon) IndexCounts() (users, files int) { return d.srv.Counts() }
+
 // Done is closed when the daemon starts shutting down.
 func (d *Daemon) Done() <-chan struct{} { return d.ctx.Done() }
 
@@ -476,6 +592,10 @@ func (d *Daemon) mirror(srcKey, dstKey uint32, m ed2k.Message) {
 	}
 	switch m.Opcode() {
 	case ed2k.OpLoginRequest, ed2k.OpIDChange:
+		return
+	case ed2k.OpMeshAnnounce, ed2k.OpMeshForward, ed2k.OpMeshForwardRes:
+		// Server-to-server traffic is not part of the captured client
+		// dialect (and would fail the dataset's known-opcode check).
 		return
 	}
 	(*tap)(srcKey, dstKey, ed2k.Encode(m))

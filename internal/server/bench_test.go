@@ -96,6 +96,35 @@ func BenchmarkServerHandle(b *testing.B) {
 	})
 }
 
+// BenchmarkServerHandleShardMatrix is the ROADMAP's shard-scaling
+// matrix: a fixed set of shard counts, meant to be crossed with
+// GOMAXPROCS via the -cpu flag —
+//
+//	go test -run '^$' -bench ShardMatrix -cpu 1,4,16 ./internal/server/
+//
+// On a 1-CPU host the -cpu axis still measures scheduling overhead
+// (goroutines contending for one core), which is exactly the regime CI
+// runs in; scripts/bench_mesh.sh records the matrix to BENCH_mesh.json
+// with the host CPU count so readers can tell the two regimes apart.
+func BenchmarkServerHandleShardMatrix(b *testing.B) {
+	const nFiles = 1 << 15
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, msgs := benchServer(shards, nFiles)
+			mask := len(msgs) - 1
+			var cursor atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(cursor.Add(1))
+					s.Handle(simtime.Time(i), ed2k.ClientID(1000+i%512), 4662, msgs[i&mask])
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
 // shardCountForCPU mirrors the daemon's default: enough shards that
 // every core can usually hold a different one.
 func shardCountForCPU() int {

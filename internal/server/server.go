@@ -243,6 +243,22 @@ func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg e
 	return answers
 }
 
+// HandleRemote answers a query forwarded by a peer server against the
+// local index only: no user registration (the asking client is the
+// peer's, not ours), no per-user opcode counters, and never any further
+// forwarding — the single-hop rule that keeps a mesh of servers
+// loop-free. Unlike Handle, a search miss still returns the empty
+// SearchRes: the peer needs an explicit "no hits" to stop waiting.
+func (s *Server) HandleRemote(now simtime.Time, msg ed2k.Message) []ed2k.Message {
+	switch m := msg.(type) {
+	case *ed2k.GetSources:
+		return s.handleGetSources(now, m)
+	case *ed2k.SearchReq:
+		return []ed2k.Message{s.handleSearch(m)}
+	}
+	return nil
+}
+
 func (s *Server) handleOffer(now simtime.Time, from ed2k.ClientID, port uint16, m *ed2k.OfferFiles) ed2k.Message {
 	accepted := uint32(0)
 	for i := range m.Files {
@@ -571,6 +587,10 @@ func (s *Server) Stats() Stats {
 	}
 	return st
 }
+
+// Counts reports the user and file gauges — what a server announces
+// about itself to its mesh peers (and answers to StatReq).
+func (s *Server) Counts() (users, files int) { return s.counts() }
 
 // Users reports the distinct clients seen.
 func (s *Server) Users() int {

@@ -224,6 +224,8 @@ func parseRecord(line string) (*Record, error) {
 			default:
 				err = fmt.Errorf("%w: dir %q", ErrSyntax, a.val)
 			}
+		case "srv":
+			rec.Server = a.val
 		case "minkb":
 			rec.MinKB, err = strconv.ParseUint(a.val, 10, 64)
 		case "maxkb":

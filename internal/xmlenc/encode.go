@@ -70,6 +70,9 @@ func (e *Encoder) Write(r *Record) error {
 	b = append(b, `" dir="`...)
 	b = append(b, r.Dir.String()...)
 	b = append(b, '"')
+	if r.Server != "" {
+		b = appendAttr(b, "srv", r.Server)
+	}
 	if r.MinKB != 0 {
 		b = append(b, ` minkb="`...)
 		b = strconv.AppendUint(b, r.MinKB, 10)

@@ -65,6 +65,9 @@ type Record struct {
 	Op string
 	// Dir marks query vs answer.
 	Dir Dir
+	// Server is the capturing server's name in merged multi-server
+	// captures (the srv attribute); empty in single-server datasets.
+	Server string
 
 	Files      []FileInfo
 	FileRefs   []uint32

@@ -26,6 +26,8 @@ func sampleRecords() []*Record {
 			FileRefs: []uint32{3}, Sources: []uint32{0, 7, 12}},
 		{T: 3, Client: 12, Op: "StatRes", Dir: DirAnswer, Users: 120000, FilesCount: 9000000},
 		{T: 4, Client: 13, Op: "GetServerList", Dir: DirQuery},
+		{T: 5, Client: 14, Op: "SearchRes", Dir: DirAnswer, Server: "mesh-1",
+			Files: []FileInfo{{ID: 2, SizeKB: 12}}},
 	}
 }
 

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_mesh.sh — run the mesh forwarding benchmark and the shard-scaling
+# matrix, and record both to BENCH_mesh.json at the repo root.
+#
+# Usage: scripts/bench_mesh.sh [benchtime]
+#   benchtime: go test -benchtime value (default 1000x; use e.g. 2s for
+#   a longer, steadier run)
+#
+# The matrix crosses index shard counts (1/4/16) with GOMAXPROCS
+# (-cpu 1,4,16). The host CPU count is recorded alongside: on a 1-CPU
+# box the -cpu axis measures scheduling overhead, not true parallelism.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1000x}"
+OUT="BENCH_mesh.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "running BenchmarkMeshForward (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench '^BenchmarkMeshForward$' -benchtime "$BENCHTIME" \
+    ./internal/edmesh/ | tee -a "$TMP" >&2
+echo "running BenchmarkServerHandleShardMatrix (benchtime=$BENCHTIME, cpu 1,4,16)..." >&2
+go test -run '^$' -bench '^BenchmarkServerHandleShardMatrix$' -benchtime "$BENCHTIME" \
+    -cpu 1,4,16 ./internal/server/ | tee -a "$TMP" >&2
+
+# Parse `Benchmark<Name>[-cpu] <iters> <value> <unit> ...` lines into a
+# JSON array; every (value, unit) pair after the iteration count becomes
+# a metric ("ns/op", "msgs/s", ...).
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (line != "") line = line ", "
+        line = line "\"" $(i + 1) "\": " $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", $1, $2, line
+}
+END { printf "\n" }
+' "$TMP" > "$TMP.json"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "benchmarks": [\n'
+    cat "$TMP.json"
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
+rm -f "$TMP.json"
+echo "wrote $OUT" >&2

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -109,10 +111,22 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 		collector = analysis.NewCollector()
 		sinks = append(sinks, collector)
 	}
+	var servers map[uint32]string
+	if sn, ok := s.src.(serverNamer); ok {
+		servers = sn.serverNames()
+	}
 	var dw *dataset.Writer
 	if s.o.datasetDir != "" {
 		meta := map[string]string{
 			"server_ip": strconv.FormatUint(uint64(serverIP), 10),
+		}
+		if servers != nil {
+			names := make([]string, 0, len(servers))
+			for _, n := range servers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			meta["servers"] = strings.Join(names, ",")
 		}
 		if sim, ok := s.src.(*SimSource); ok {
 			meta["seed"] = strconv.FormatUint(sim.Config.Workload.Seed, 10)
@@ -138,7 +152,12 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 	default:
 		sink = teeSink{sinks}
 	}
-	pipe := core.NewPipeline(serverIP, bytePair, sink)
+	var pipe *core.Pipeline
+	if servers != nil {
+		pipe = core.NewPipelineMulti(servers, bytePair, sink)
+	} else {
+		pipe = core.NewPipeline(serverIP, bytePair, sink)
+	}
 	if dw != nil {
 		defer func() {
 			dw.SetCounters(pipe.ClientAnonymizer().Count(), pipe.FileAnonymizer().Count())
