@@ -35,6 +35,7 @@ import (
 	"edtrace/internal/edload"
 	"edtrace/internal/edserverd"
 	"edtrace/internal/netsim"
+	"edtrace/internal/obs"
 	"edtrace/internal/randx"
 	"edtrace/internal/simtime"
 	"edtrace/internal/tcpsim"
@@ -442,6 +443,29 @@ func BenchmarkSessionPipeline(b *testing.B) {
 	st := res.Report.Pipeline
 	if st.DecodedOK == 0 {
 		b.Fatal("session decoded nothing — benchmark frames are broken")
+	}
+	b.ReportMetric(float64(st.DecodedOK)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkSessionPipelineMetrics is BenchmarkSessionPipeline with
+// WithMetrics attached — the pair scripts/bench_obs.sh diffs to verify
+// the instrumentation stays under its overhead budget.
+func BenchmarkSessionPipelineMetrics(b *testing.B) {
+	frames := benchFrames(4096)
+	src := &replaySource{frames: frames, n: b.N}
+	reg := obs.NewRegistry()
+	b.SetBytes(int64(len(frames[0])))
+	b.ResetTimer()
+	res, err := NewSession(src, WithServerIP(0x0A000001), WithMetrics(reg)).Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := res.Report.Pipeline
+	if st.DecodedOK == 0 {
+		b.Fatal("session decoded nothing — benchmark frames are broken")
+	}
+	if got := reg.Counter("edsession_frames_total", "").Value(); got != uint64(b.N) {
+		b.Fatalf("frames counter %d, want %d", got, b.N)
 	}
 	b.ReportMetric(float64(st.DecodedOK)/b.Elapsed().Seconds(), "msgs/s")
 }

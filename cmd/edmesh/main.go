@@ -21,11 +21,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,6 +41,7 @@ import (
 	"edtrace/internal/edload"
 	"edtrace/internal/edmesh"
 	"edtrace/internal/edserverd"
+	"edtrace/internal/obs"
 	"edtrace/internal/xmlenc"
 )
 
@@ -48,6 +55,7 @@ func main() {
 		datasetDir = flag.String("dataset", "", "merged capture: write the anonymised XML dataset here")
 		gz         = flag.Bool("gz", false, "gzip merged-capture dataset chunks")
 		figures    = flag.Bool("figures", false, "merged capture: print the paper's figures on shutdown")
+		metrics    = flag.String("metrics", "", "serve the whole mesh's /metrics, /metrics.json and /healthz on this address")
 		smoke      = flag.Bool("smoke", false, "run the self-checking acceptance demo and exit")
 		quiet      = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
@@ -62,15 +70,36 @@ func main() {
 		os.Exit(1)
 	}
 
+	// One endpoint serves every node: each daemon (and its mesh layer)
+	// registers into a node-labelled sub-registry of a shared root.
+	// -smoke always binds one so it can assert against a live scrape.
+	metricsAddr := *metrics
+	if *smoke && metricsAddr == "" {
+		metricsAddr = "127.0.0.1:0"
+	}
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	cluster, err := startMesh(*n, *shards, edmesh.Config{
 		AnnounceInterval: *announce,
 		FanOut:           *fanout,
 		ForwardTimeout:   *fwdTimeout,
 		Logf:             logf,
-	}, logf)
+	}, reg, logf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edmesh:", err)
 		os.Exit(1)
+	}
+	if metricsAddr != "" {
+		msrv, merr := obs.Serve(metricsAddr, reg, cluster.health)
+		if merr != nil {
+			cluster.shutdown()
+			fmt.Fprintln(os.Stderr, "edmesh: metrics:", merr)
+			os.Exit(1)
+		}
+		cluster.msrv = msrv
+		logf("edmesh: metrics on http://%s/metrics", msrv.Addr())
 	}
 	for i, d := range cluster.daemons {
 		logf("edmesh: %s tcp=%s udp=%s", d.Name(), d.TCPAddr(), cluster.udpAddrs[i])
@@ -146,18 +175,36 @@ type cluster struct {
 	meshes   []*edmesh.Mesh
 	udpAddrs []string
 	tcpAddrs []string
+	msrv     *obs.Server
+}
+
+// health is the mesh's /healthz: serving while any node still is.
+func (c *cluster) health() error {
+	for _, d := range c.daemons {
+		if d.Health() == nil {
+			return nil
+		}
+	}
+	return errors.New("all mesh nodes down")
 }
 
 // startMesh boots n named daemons and peers them, bootstrapping every
-// node off node 0's UDP address.
-func startMesh(n, shards int, mcfg edmesh.Config, logf func(string, ...any)) (*cluster, error) {
+// node off node 0's UDP address. With a registry, every node's metrics
+// land in a node-labelled sub-registry of it.
+func startMesh(n, shards int, mcfg edmesh.Config, reg *obs.Registry, logf func(string, ...any)) (*cluster, error) {
 	c := &cluster{}
 	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("mesh-%d", i)
+		var nodeReg *obs.Registry
+		if reg != nil {
+			nodeReg = reg.Sub(obs.L("node", name))
+		}
 		d, err := edserverd.Start(edserverd.Config{
-			Name:   fmt.Sprintf("mesh-%d", i),
-			Desc:   "edtrace mesh node",
-			Shards: shards,
-			Logf:   logf,
+			Name:    name,
+			Desc:    "edtrace mesh node",
+			Shards:  shards,
+			Metrics: nodeReg,
+			Logf:    logf,
 		})
 		if err != nil {
 			c.shutdown()
@@ -180,11 +227,17 @@ func startMesh(n, shards int, mcfg edmesh.Config, logf func(string, ...any)) (*c
 	return c, nil
 }
 
-// shutdown tears the whole mesh down, peering layer first.
+// shutdown tears the whole mesh down, peering layer first; the metrics
+// endpoint serves 503s through the drain and closes last.
 func (c *cluster) shutdown() {
 	for _, m := range c.meshes {
 		m.Close()
 	}
+	defer func() {
+		if c.msrv != nil {
+			c.msrv.Close()
+		}
+	}()
 	for _, d := range c.daemons {
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		if err := d.Shutdown(ctx); err != nil {
@@ -296,6 +349,13 @@ func (c *cluster) runSmoke(logf func(string, ...any)) int {
 		return fail("no miss was answered through the mesh (forwards sent=%d, answers merged=%d)", fwdSent, fwdAnswers)
 	}
 
+	// The metrics endpoint must serve sane non-zero counters while the
+	// surviving nodes are still up.
+	if msg := c.checkMetricsLive(); msg != "" {
+		return fail("metrics: %s", msg)
+	}
+	logf("edmesh smoke: metrics endpoint serving live counters")
+
 	// End the capture and verify the merged, tagged dataset.
 	for i, m := range c.meshes {
 		if i == victim {
@@ -337,6 +397,68 @@ func (c *cluster) runSmoke(logf func(string, ...any)) int {
 	fmt.Printf("edmesh smoke: OK — %d clients, %d sent, %d answered, %d failovers; %d forwards (%d answers merged); %d records across %d servers\n",
 		st.Clients, st.Sent, st.Answers, st.Failovers, fwdSent, fwdAnswers, r.res.Report.Pipeline.Records, len(tags))
 	return 0
+}
+
+// checkMetricsLive scrapes the running mesh's endpoint and verifies the
+// exposition carries non-zero traffic counters, the JSON variant
+// decodes, and the health check passes. Empty string means OK.
+func (c *cluster) checkMetricsLive() string {
+	base := "http://" + c.msrv.Addr()
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+
+	code, body, err := get("/metrics")
+	if err != nil || code != http.StatusOK {
+		return fmt.Sprintf("/metrics: status %d, err %v", code, err)
+	}
+	// Sum a family across its labelled series (every node contributes
+	// a node="..." sub-series).
+	sum := func(family string) float64 {
+		var total float64
+		for _, line := range strings.Split(string(body), "\n") {
+			if !strings.HasPrefix(line, family+"{") && !strings.HasPrefix(line, family+" ") {
+				continue
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err == nil {
+				total += v
+			}
+		}
+		return total
+	}
+	for _, family := range []string{
+		"edserverd_tcp_messages_total",
+		"edserverd_answers_total",
+		"edserver_received_total",
+		"edmesh_announces_sent_total",
+		"edmesh_forwards_sent_total",
+	} {
+		if sum(family) == 0 {
+			return fmt.Sprintf("%s is zero on a loaded mesh", family)
+		}
+	}
+
+	code, body, err = get("/metrics.json")
+	if err != nil || code != http.StatusOK {
+		return fmt.Sprintf("/metrics.json: status %d, err %v", code, err)
+	}
+	var doc map[string]any
+	if jerr := json.Unmarshal(body, &doc); jerr != nil {
+		return fmt.Sprintf("/metrics.json does not decode: %v", jerr)
+	}
+
+	if code, _, err = get("/healthz"); err != nil || code != http.StatusOK {
+		return fmt.Sprintf("/healthz: status %d, err %v (mesh still has live nodes)", code, err)
+	}
+	return ""
 }
 
 type sessionResult struct {

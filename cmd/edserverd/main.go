@@ -12,6 +12,7 @@
 //
 //	edserverd -tcp 127.0.0.1:4661 -udp 127.0.0.1:4665 -shards 64
 //	edserverd -dataset /tmp/self -figures     # capture your own traffic
+//	edserverd -metrics 127.0.0.1:9100         # Prometheus + healthz endpoint
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		gz      = flag.Bool("gz", false, "gzip self-capture dataset chunks")
 		tee     = flag.String("tee", "", "self-capture: mirror traffic into this pcap file")
 		figures = flag.Bool("figures", false, "self-capture: print the paper's figures on shutdown")
+		metrics = flag.String("metrics", "", "serve /metrics, /metrics.json and /healthz on this address")
 		quiet   = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
 	flag.Parse()
@@ -58,6 +60,7 @@ func main() {
 		Shards:         *shards,
 		SourceTTL:      simtime.Time(*ttl),
 		ExpiryInterval: *expire,
+		MetricsAddr:    *metrics,
 		Logf:           logf,
 	})
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 
 	"edtrace/internal/clients"
 	"edtrace/internal/ed2k"
+	"edtrace/internal/obs"
 	"edtrace/internal/randx"
 	"edtrace/internal/workload"
 )
@@ -52,8 +53,54 @@ type Config struct {
 	MaxMessagesPerClient int
 	// DialTimeout bounds each connection attempt (default 10s).
 	DialTimeout time.Duration
+	// Metrics, when set, records client-observed answer latency
+	// histograms (edload_answer_seconds{op=...}) — what the swarm's
+	// clients actually waited, as opposed to the server-side Handle
+	// timings. Nil disables the instrumentation.
+	Metrics *obs.Registry
 	// Logf, when set, receives lifecycle lines.
 	Logf func(format string, args ...any)
+}
+
+// latHists is the per-opcode answer-latency instrumentation; a nil
+// receiver makes observe a no-op.
+type latHists struct {
+	login, offer, search, fence *obs.Histogram
+}
+
+func newLatHists(reg *obs.Registry) *latHists {
+	const name = "edload_answer_seconds"
+	const help = "client-observed answer latency by query opcode"
+	return &latHists{
+		login:  reg.Histogram(name, help, nil, obs.L("op", "LoginRequest")),
+		offer:  reg.Histogram(name, help, nil, obs.L("op", "OfferFiles")),
+		search: reg.Histogram(name, help, nil, obs.L("op", "SearchReq")),
+		fence:  reg.Histogram(name, help, nil, obs.L("op", "StatReq")),
+	}
+}
+
+func (l *latHists) observeLogin(d time.Duration) {
+	if l != nil {
+		l.login.Observe(d)
+	}
+}
+
+func (l *latHists) observeOffer(d time.Duration) {
+	if l != nil {
+		l.offer.Observe(d)
+	}
+}
+
+func (l *latHists) observeSearch(d time.Duration) {
+	if l != nil {
+		l.search.Observe(d)
+	}
+}
+
+func (l *latHists) observeFence(d time.Duration) {
+	if l != nil {
+		l.fence.Observe(d)
+	}
 }
 
 // Stats aggregates a completed run. Sent and Answers count wire truth:
@@ -141,6 +188,10 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	)
 	start := time.Now()
 	root := randx.New(cfg.Workload.Seed, 0xED10AD)
+	var lat *latHists
+	if cfg.Metrics != nil {
+		lat = newLatHists(cfg.Metrics)
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -154,6 +205,7 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 			s := &session{
 				cfg:       &cfg,
 				mgr:       mgr,
+				lat:       lat,
 				sent:      &sent,
 				answers:   &answers,
 				offers:    &offers,
@@ -208,6 +260,7 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 type session struct {
 	cfg *Config
 	mgr *clients.ServerManager
+	lat *latHists
 
 	sent, answers, offers, search, asks, found, failovers *atomic.Uint64
 
@@ -278,6 +331,7 @@ func (s *session) runOn(ctx context.Context, addr string, plan []ed2k.Message) e
 		return fmt.Errorf("login: %w", err)
 	}
 	s.mgr.ReportSuccess(addr, time.Since(login))
+	s.lat.observeLogin(time.Since(login))
 
 	// maxOutstandingHashes bounds the asked-for hashes in flight before
 	// a fence forces a drain: a long all-ask run otherwise writes
@@ -300,6 +354,7 @@ func (s *session) runOn(ctx context.Context, addr string, plan []ed2k.Message) e
 
 	for s.idx < len(plan) {
 		msg := plan[s.idx]
+		sentAt := time.Now()
 		if err := s.send(msg); err != nil {
 			return err
 		}
@@ -309,6 +364,7 @@ func (s *session) runOn(ctx context.Context, addr string, plan []ed2k.Message) e
 			if _, err := s.expect(isType[*ed2k.OfferAck]); err != nil {
 				return fmt.Errorf("offer: %w", err)
 			}
+			s.lat.observeOffer(time.Since(sentAt))
 			// The in-order OfferAck drained and settled everything prior.
 			outstanding = 0
 			s.unsettled = s.unsettled[:0]
@@ -317,6 +373,7 @@ func (s *session) runOn(ctx context.Context, addr string, plan []ed2k.Message) e
 			if _, err := s.expect(isType[*ed2k.SearchRes]); err != nil {
 				return fmt.Errorf("search: %w", err)
 			}
+			s.lat.observeSearch(time.Since(sentAt))
 			outstanding = 0
 			s.unsettled = s.unsettled[:0]
 		case *ed2k.GetSources:
@@ -368,6 +425,7 @@ func (s *session) fence(addr string) error {
 		return fmt.Errorf("fence challenge %#x, want %#x", res.Challenge, challenge)
 	}
 	s.mgr.ReportSuccess(addr, time.Since(sent))
+	s.lat.observeFence(time.Since(sent))
 	s.mgr.ReportCounts(addr, "", res.Users, res.Files)
 	return nil
 }

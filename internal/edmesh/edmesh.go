@@ -35,6 +35,7 @@ import (
 
 	"edtrace/internal/ed2k"
 	"edtrace/internal/edserverd"
+	"edtrace/internal/obs"
 	"edtrace/internal/server"
 )
 
@@ -59,6 +60,9 @@ type Config struct {
 	// Bootstrap seeds discovery: UDP addresses announced to even before
 	// they ever announced to us.
 	Bootstrap []string
+	// Metrics is the registry the mesh registers into (nil means the
+	// daemon's own registry, so one endpoint serves both layers).
+	Metrics *obs.Registry
 	// Logf, when set, receives lifecycle lines (join, eject, readmit).
 	Logf func(format string, args ...any)
 }
@@ -166,7 +170,18 @@ type Mesh struct {
 	mu      sync.Mutex
 	peers   map[string]*peer
 	pending map[uint32]*pendingReq
-	stats   Stats
+
+	// Gossip and forwarding counters — obs series, so Stats() and the
+	// metrics exposition read the same numbers. The per-peer latency
+	// EWMA and health state are registered as read callbacks when a
+	// peer is discovered (the render path never runs under m.mu, so a
+	// callback re-taking m.mu is deadlock-free).
+	reg                       *obs.Registry
+	cAnnSent, cAnnRecv        *obs.Counter
+	cFwdSent, cFwdServed      *obs.Counter
+	cFwdAnswers, cFwdTimeouts *obs.Counter
+	cEjects                   *obs.Counter
+	hForward                  *obs.Histogram
 
 	reqSeq atomic.Uint32
 
@@ -188,13 +203,42 @@ func New(d *edserverd.Daemon, cfg Config) (*Mesh, error) {
 	if !ok || ua == nil {
 		return nil, fmt.Errorf("edmesh: daemon has no UDP listener")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = d.Metrics()
+	}
 	m := &Mesh{
 		d:       d,
 		cfg:     cfg,
 		selfKey: ua.String(),
 		peers:   make(map[string]*peer),
 		pending: make(map[uint32]*pendingReq),
+		reg:     reg,
 	}
+	m.cAnnSent = reg.Counter("edmesh_announces_sent_total", "gossip datagrams sent")
+	m.cAnnRecv = reg.Counter("edmesh_announces_recv_total", "gossip datagrams received")
+	m.cFwdSent = reg.Counter("edmesh_forwards_sent_total", "MeshForward datagrams sent to peers")
+	m.cFwdServed = reg.Counter("edmesh_forwards_served_total", "peer forwards answered from the local index")
+	m.cFwdAnswers = reg.Counter("edmesh_forward_answers_total", "answer messages merged in from peers")
+	m.cFwdTimeouts = reg.Counter("edmesh_forward_timeouts_total", "forwards that hit the timeout")
+	m.cEjects = reg.Counter("edmesh_ejects_total", "peer ejections (failures or TTL)")
+	m.hForward = reg.Histogram("edmesh_forward_seconds", "forwarded-request wait, send to merge", nil)
+	reg.GaugeFunc("edmesh_peers_known", "peers in the server list", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.peers))
+	})
+	reg.GaugeFunc("edmesh_peers_healthy", "peers eligible for forwards", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		n := 0
+		for _, p := range m.peers {
+			if !p.ejected {
+				n++
+			}
+		}
+		return float64(n)
+	})
 	m.self = ed2k.MeshPeer{
 		IP:      ipKey(ua.IP),
 		UDPPort: uint16(ua.Port),
@@ -306,8 +350,8 @@ func (m *Mesh) announce() {
 			targets = append(targets, b)
 		}
 	}
-	m.stats.AnnouncesSent += uint64(len(targets))
 	m.mu.Unlock()
+	m.cAnnSent.Add(uint64(len(targets)))
 
 	raw := ed2k.Encode(ann)
 	for _, to := range targets {
@@ -322,7 +366,7 @@ func (m *Mesh) ejectLocked(p *peer, now time.Time, reason string) {
 	p.ejected = true
 	p.ejectedUntil = now.Add(m.cfg.EjectBackoff)
 	p.fails = 0
-	m.stats.Ejects++
+	m.cEjects.Inc()
 	m.logf("edmesh: %s: ejected peer %s (%s)", m.self.Name, p.name, reason)
 }
 
@@ -353,9 +397,9 @@ func (m *Mesh) handlePeerMsg(from *net.UDPAddr, msg ed2k.Message) bool {
 // dead peer cannot be kept alive by third-hand rumours.
 func (m *Mesh) handleAnnounce(from *net.UDPAddr, ann *ed2k.MeshAnnounce) {
 	now := time.Now()
+	m.cAnnRecv.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stats.AnnouncesRecv++
 
 	// The sender: trust the datagram source address over the advertised
 	// one, but take identity and counts from its self entry.
@@ -365,6 +409,7 @@ func (m *Mesh) handleAnnounce(from *net.UDPAddr, ann *ed2k.MeshAnnounce) {
 		if p == nil {
 			p = &peer{addr: cloneUDPAddr(from)}
 			m.peers[key] = p
+			m.registerPeerGauges(key)
 			m.logf("edmesh: %s: discovered peer %s at %s", m.self.Name, ann.Peers[0].Name, key)
 		}
 		self := ann.Peers[0]
@@ -394,8 +439,33 @@ func (m *Mesh) handleAnnounce(from *net.UDPAddr, ann *ed2k.MeshAnnounce) {
 			files:    g.Files,
 			lastSeen: now, // one TTL's grace to announce directly
 		}
+		m.registerPeerGauges(gkey)
 		m.logf("edmesh: %s: learned peer %s at %s (via %s)", m.self.Name, g.Name, gkey, key)
 	}
+}
+
+// registerPeerGauges publishes one peer's health row as read callbacks:
+// the latency EWMA and whether it is eligible for forwards. Called with
+// m.mu held when the peer is first created; the callbacks re-take m.mu,
+// which is safe because the registry never renders under m.mu.
+func (m *Mesh) registerPeerGauges(key string) {
+	lbl := obs.L("peer", key)
+	m.reg.GaugeFunc("edmesh_peer_latency_seconds", "per-peer forward round-trip EWMA", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if p := m.peers[key]; p != nil {
+			return p.latency.Seconds()
+		}
+		return 0
+	}, lbl)
+	m.reg.GaugeFunc("edmesh_peer_healthy", "1 while the peer is eligible for forwards", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if p := m.peers[key]; p != nil && !p.ejected {
+			return 1
+		}
+		return 0
+	}, lbl)
 }
 
 func cloneUDPAddr(a *net.UDPAddr) *net.UDPAddr {
@@ -412,9 +482,7 @@ func (m *Mesh) serveForward(from *net.UDPAddr, fw *ed2k.MeshForward) {
 	if len(answers) > ed2k.MaxForwardAnswers {
 		answers = answers[:ed2k.MaxForwardAnswers]
 	}
-	m.mu.Lock()
-	m.stats.ForwardsServed++
-	m.mu.Unlock()
+	m.cFwdServed.Inc()
 	res := &ed2k.MeshForwardRes{ReqID: fw.ReqID, Answers: answers}
 	if err := m.d.WriteUDP(ed2k.Encode(res), from); err != nil && m.ctx.Err() == nil {
 		m.logf("edmesh: forward answer to %v: %v", from, err)
@@ -500,7 +568,7 @@ func (m *Mesh) forward(ctx context.Context, q ed2k.Message) []ed2k.Message {
 		pr.expect[t.String()] = true
 	}
 	m.pending[id] = pr
-	m.stats.ForwardsSent += uint64(len(targets))
+	m.cFwdSent.Add(uint64(len(targets)))
 	for _, t := range targets {
 		if p := m.peers[t.String()]; p != nil {
 			p.forwardsSent++
@@ -526,9 +594,7 @@ collect:
 			replied++
 			out = append(out, a.answers...)
 		case <-timer.C:
-			m.mu.Lock()
-			m.stats.ForwardTimeouts++
-			m.mu.Unlock()
+			m.cFwdTimeouts.Inc()
 			break collect
 		case <-ctx.Done():
 			break collect
@@ -551,8 +617,9 @@ collect:
 			}
 		}
 	}
-	m.stats.ForwardAnswers += uint64(len(out))
 	m.mu.Unlock()
+	m.cFwdAnswers.Add(uint64(len(out)))
+	m.hForward.Observe(time.Since(pr.sent))
 	return out
 }
 
@@ -676,11 +743,20 @@ func mergeSearchRes(peerAns []ed2k.Message) *ed2k.SearchRes {
 	return merged
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters — read from the same obs series the
+// metrics exposition serves.
 func (m *Mesh) Stats() Stats {
+	st := Stats{
+		AnnouncesSent:   m.cAnnSent.Value(),
+		AnnouncesRecv:   m.cAnnRecv.Value(),
+		ForwardsSent:    m.cFwdSent.Value(),
+		ForwardsServed:  m.cFwdServed.Value(),
+		ForwardAnswers:  m.cFwdAnswers.Value(),
+		ForwardTimeouts: m.cFwdTimeouts.Value(),
+		Ejects:          m.cEjects.Value(),
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := m.stats
 	st.PeersKnown = len(m.peers)
 	for _, p := range m.peers {
 		if !p.ejected {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"edtrace/internal/ed2k"
+	"edtrace/internal/obs"
 	"edtrace/internal/server"
 	"edtrace/internal/simtime"
 )
@@ -87,6 +88,19 @@ type Config struct {
 	// Tap, when set, mirrors every decoded query and answer.
 	Tap TapFunc
 
+	// Metrics is the registry the daemon (and its index) registers
+	// into. Nil means a private registry, still readable via
+	// Daemon.Metrics — supply one to aggregate several daemons (each
+	// under its own Sub labels) on a single endpoint.
+	Metrics *obs.Registry
+
+	// MetricsAddr, when non-empty, serves /metrics, /metrics.json and
+	// /healthz on that address (":0" for an ephemeral port). /healthz
+	// degrades to 503 the moment graceful shutdown begins, while the
+	// endpoint itself stays up until the drain completes — the
+	// load-balancer drain signal.
+	MetricsAddr string
+
 	// Logf, when set, receives one line per lifecycle event and per
 	// connection error (not per message).
 	Logf func(format string, args ...any)
@@ -130,10 +144,32 @@ type Daemon struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	nConns, nLogins, nTCP, nUDP, nAns, nBad, nPeer atomic.Uint64
-	active                                         atomic.Int64
+	reg  *obs.Registry
+	msrv *obs.Server
+
+	// Connection-lifecycle and traffic counters. These ARE the metrics
+	// — Stats() reads the same obs series /metrics exposes, so the two
+	// views can never disagree.
+	nConns, nLogins, nTCP, nUDP, nAns, nBad, nPeer *obs.Counter
+	active, inflight                               *obs.Gauge
 
 	closeOnce sync.Once
+}
+
+// registerMetrics wires the daemon's own series into reg (the index
+// registered its own in NewShardedWith).
+func (d *Daemon) registerMetrics(reg *obs.Registry) {
+	d.nConns = reg.Counter("edserverd_connections_total", "TCP connections accepted")
+	d.nLogins = reg.Counter("edserverd_logins_total", "login handshakes served")
+	d.nTCP = reg.Counter("edserverd_tcp_messages_total", "framed TCP messages decoded")
+	d.nUDP = reg.Counter("edserverd_udp_messages_total", "client UDP datagrams decoded")
+	d.nAns = reg.Counter("edserverd_answers_total", "answers sent (TCP and UDP)")
+	d.nBad = reg.Counter("edserverd_bad_messages_total", "undecodable inputs")
+	d.nPeer = reg.Counter("edserverd_peer_messages_total", "UDP messages consumed by the peer handler")
+	d.active = reg.Gauge("edserverd_connections_active", "TCP connections open now")
+	d.inflight = reg.Gauge("edserverd_inflight_requests", "client queries being handled right now")
+	reg.GaugeFunc("edserverd_uptime_seconds", "time since the daemon started serving",
+		func() float64 { return time.Since(d.start).Seconds() })
 }
 
 // Start binds the configured listeners and launches the serving loops.
@@ -158,12 +194,18 @@ func Start(cfg Config) (*Daemon, error) {
 		return nil, errors.New("edserverd: both TCP and UDP disabled")
 	}
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	d := &Daemon{
 		cfg:   cfg,
-		srv:   server.NewSharded(cfg.Name, cfg.Desc, cfg.Shards),
+		srv:   server.NewShardedWith(cfg.Name, cfg.Desc, cfg.Shards, reg),
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
+		reg:   reg,
 	}
+	d.registerMetrics(reg)
 	if cfg.SourceTTL > 0 {
 		d.srv.SourceTTL = cfg.SourceTTL
 	}
@@ -216,9 +258,41 @@ func Start(cfg Config) (*Daemon, error) {
 		d.wg.Add(1)
 		go d.expiryLoop()
 	}
+	if cfg.MetricsAddr != "" {
+		msrv, err := obs.Serve(cfg.MetricsAddr, reg, d.Health)
+		if err != nil {
+			d.cancel()
+			d.closeListeners()
+			return nil, fmt.Errorf("edserverd: metrics: %w", err)
+		}
+		d.msrv = msrv
+		d.logf("edserverd: metrics on http://%s/metrics", msrv.Addr())
+	}
 	d.logf("edserverd: serving tcp=%v udp=%v shards=%d",
 		d.TCPAddr(), d.UDPAddr(), d.srv.NumShards())
 	return d, nil
+}
+
+// Health is the daemon's /healthz check: nil while serving, an error
+// once graceful shutdown has begun (so a load balancer drains the node
+// while the listener is still winding down).
+func (d *Daemon) Health() error {
+	if d.ctx.Err() != nil {
+		return errors.New("edserverd: shutting down")
+	}
+	return nil
+}
+
+// Metrics returns the registry the daemon's metrics live in.
+func (d *Daemon) Metrics() *obs.Registry { return d.reg }
+
+// MetricsAddr returns the bound metrics endpoint address ("" when the
+// endpoint is disabled).
+func (d *Daemon) MetricsAddr() string {
+	if d.msrv == nil {
+		return ""
+	}
+	return d.msrv.Addr()
 }
 
 func (d *Daemon) logf(format string, args ...any) {
@@ -277,14 +351,14 @@ func (d *Daemon) Uptime() time.Duration { return time.Since(d.start) }
 // Stats snapshots the daemon and index counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
-		Conns:    d.nConns.Load(),
-		Active:   d.active.Load(),
-		Logins:   d.nLogins.Load(),
-		TCPMsgs:  d.nTCP.Load(),
-		UDPMsgs:  d.nUDP.Load(),
-		Answers:  d.nAns.Load(),
-		PeerMsgs: d.nPeer.Load(),
-		BadMsgs:  d.nBad.Load(),
+		Conns:    d.nConns.Value(),
+		Active:   d.active.Value(),
+		Logins:   d.nLogins.Value(),
+		TCPMsgs:  d.nTCP.Value(),
+		UDPMsgs:  d.nUDP.Value(),
+		Answers:  d.nAns.Value(),
+		PeerMsgs: d.nPeer.Value(),
+		BadMsgs:  d.nBad.Value(),
 		Server:   d.srv.Stats(),
 	}
 }
@@ -309,8 +383,14 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if d.msrv != nil {
+			d.msrv.Close() // endpoint outlives the drain: 503s until here
+		}
 		return nil
 	case <-ctx.Done():
+		if d.msrv != nil {
+			d.msrv.Close()
+		}
 		return ctx.Err()
 	}
 }
@@ -418,8 +498,10 @@ func (d *Daemon) serveConn(conn *net.TCPConn) {
 			answers = []ed2k.Message{&ed2k.IDChange{Client: clientID}}
 		default:
 			d.mirror(clientKey, serverKey, msg)
+			d.inflight.Inc()
 			answers = d.srv.Handle(now, clientID, clientPort, msg)
 			answers = d.resolveMisses(msg, answers)
+			d.inflight.Dec()
 		}
 
 		out = out[:0]
@@ -485,8 +567,10 @@ func (d *Daemon) udpLoop() {
 // answerUDP runs one decoded client datagram through the index (and the
 // resolver, when installed) and writes the answers back.
 func (d *Daemon) answerUDP(msg ed2k.Message, from *net.UDPAddr, clientKey, serverKey uint32) {
+	d.inflight.Inc()
 	answers := d.srv.Handle(d.now(), ed2k.ClientID(clientKey), uint16(from.Port), msg)
 	answers = d.resolveMisses(msg, answers)
+	d.inflight.Dec()
 	d.nAns.Add(uint64(len(answers)))
 	for _, a := range answers {
 		d.mirror(serverKey, clientKey, a)

@@ -1,0 +1,294 @@
+// Package calibrate closes the sim-vs-real loop: it runs the same
+// workload through the discrete-event simulator (SimSource) and through
+// a real edserverd daemon under an edload swarm, collects both
+// anonymised record streams through the standard Session pipeline, and
+// reports how well the simulator's traffic mix and answer-latency
+// distributions track the real deployment.
+//
+// The two legs run at different clocks by construction — the sim leg
+// covers hours of virtual time in milliseconds, the real leg covers
+// seconds of wall time — so raw per-opcode rates are not comparable.
+// The comparison therefore uses each opcode's *share* of its leg's
+// records (a duration-free quantity; the report still prints both legs'
+// absolute rates). Agreement is summarised as MAPE over the opcodes the
+// real leg exercised and as the Pearson correlation of the two share
+// vectors over the union of opcodes.
+package calibrate
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"edtrace/internal/xmlenc"
+)
+
+// opKey identifies one series: direction plus opcode name.
+type opKey struct {
+	Dir xmlenc.Dir
+	Op  string
+}
+
+func (k opKey) String() string { return k.Dir.String() + "/" + k.Op }
+
+// queryFor maps an answer opcode to the query opcode it settles —
+// the pairing used to derive answer latencies from the record stream.
+var queryFor = map[string]string{
+	"OfferAck":      "OfferFiles",
+	"SearchRes":     "SearchReq",
+	"FoundSources":  "GetSources",
+	"StatRes":       "StatReq",
+	"ServerList":    "GetServerList",
+	"ServerDescRes": "ServerDescReq",
+}
+
+type pendingQuery struct {
+	op string
+	t  float64
+}
+
+// Collector is a core.RecordSink that tallies one leg of the
+// calibration: per-(dir,op) record counts plus query→answer latencies
+// paired per client. It is driven from the session's single pipeline
+// goroutine and read after the run; it needs no locking.
+type Collector struct {
+	counts  map[opKey]uint64
+	lats    map[string][]float64 // query op → answer latencies, seconds
+	pending map[uint32]pendingQuery
+	total   uint64
+	haveT   bool
+	minT    float64
+	maxT    float64
+}
+
+// NewCollector returns an empty leg collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counts:  make(map[opKey]uint64),
+		lats:    make(map[string][]float64),
+		pending: make(map[uint32]pendingQuery),
+	}
+}
+
+// Write implements core.RecordSink.
+func (c *Collector) Write(r *xmlenc.Record) error {
+	c.counts[opKey{r.Dir, r.Op}]++
+	c.total++
+	if !c.haveT || r.T < c.minT {
+		c.minT = r.T
+	}
+	if !c.haveT || r.T > c.maxT {
+		c.maxT = r.T
+	}
+	c.haveT = true
+
+	switch r.Dir {
+	case xmlenc.DirQuery:
+		c.pending[r.Client] = pendingQuery{op: r.Op, t: r.T}
+	case xmlenc.DirAnswer:
+		q, ok := c.pending[r.Client]
+		if ok && queryFor[r.Op] == q.op {
+			c.lats[q.op] = append(c.lats[q.op], r.T-q.t)
+			delete(c.pending, r.Client)
+		}
+	}
+	return nil
+}
+
+// LatencyQuantiles summarises one opcode's answer-latency sample.
+type LatencyQuantiles struct {
+	N             int
+	P50, P95, P99 float64
+}
+
+// OpStats is one opcode's view of a leg.
+type OpStats struct {
+	Count uint64
+	// Share is Count over the leg's total records (both directions).
+	Share float64
+	// Rate is Count per second of the leg's capture span.
+	Rate float64
+	// Latency is the query→answer latency sample (query ops only).
+	Latency LatencyQuantiles
+}
+
+// Leg is a finished collector snapshot.
+type Leg struct {
+	Name string
+	// Duration is the capture span in this leg's own clock, seconds.
+	Duration float64
+	Records  uint64
+	Ops      map[string]OpStats // keyed by opKey.String(), e.g. "q/SearchReq"
+}
+
+// Leg freezes the collector into a named, comparable snapshot.
+func (c *Collector) Leg(name string) Leg {
+	leg := Leg{Name: name, Records: c.total, Ops: make(map[string]OpStats, len(c.counts))}
+	if c.haveT {
+		leg.Duration = c.maxT - c.minT
+	}
+	for k, n := range c.counts {
+		st := OpStats{Count: n}
+		if c.total > 0 {
+			st.Share = float64(n) / float64(c.total)
+		}
+		if leg.Duration > 0 {
+			st.Rate = float64(n) / leg.Duration
+		}
+		if k.Dir == xmlenc.DirQuery {
+			st.Latency = quantiles(c.lats[k.Op])
+		}
+		leg.Ops[k.String()] = st
+	}
+	return leg
+}
+
+func quantiles(sample []float64) LatencyQuantiles {
+	if len(sample) == 0 {
+		return LatencyQuantiles{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return LatencyQuantiles{N: len(s), P50: at(0.50), P95: at(0.95), P99: at(0.99)}
+}
+
+// Row is one opcode's side-by-side comparison.
+type Row struct {
+	Key       string
+	Sim, Real OpStats
+	// AbsPctErr is |sim share − real share| / real share × 100; NaN when
+	// the real leg never saw the opcode (excluded from MAPE).
+	AbsPctErr float64
+}
+
+// Report is the calibration verdict for one sim/real leg pair.
+type Report struct {
+	Sim, Real Leg
+	Rows      []Row // sorted by real-leg share, descending
+	// MAPE is the mean absolute percentage error of the sim leg's
+	// per-opcode shares against the real leg's, over opcodes the real
+	// leg exercised.
+	MAPE float64
+	// Pearson is the correlation of the two share vectors over the
+	// union of opcodes.
+	Pearson float64
+}
+
+// Compare scores the sim leg against the real leg.
+func Compare(sim, real Leg) *Report {
+	keys := make(map[string]bool)
+	for k := range sim.Ops {
+		keys[k] = true
+	}
+	for k := range real.Ops {
+		keys[k] = true
+	}
+
+	rep := &Report{Sim: sim, Real: real}
+	var sumPct float64
+	var nPct int
+	var simShares, realShares []float64
+	for k := range keys {
+		row := Row{Key: k, Sim: sim.Ops[k], Real: real.Ops[k], AbsPctErr: math.NaN()}
+		if row.Real.Share > 0 {
+			row.AbsPctErr = 100 * math.Abs(row.Sim.Share-row.Real.Share) / row.Real.Share
+			sumPct += row.AbsPctErr
+			nPct++
+		}
+		simShares = append(simShares, row.Sim.Share)
+		realShares = append(realShares, row.Real.Share)
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Real.Share != rep.Rows[j].Real.Share {
+			return rep.Rows[i].Real.Share > rep.Rows[j].Real.Share
+		}
+		return rep.Rows[i].Key < rep.Rows[j].Key
+	})
+	if nPct > 0 {
+		rep.MAPE = sumPct / float64(nPct)
+	} else {
+		rep.MAPE = math.NaN()
+	}
+	rep.Pearson = pearson(simShares, realShares)
+	return rep
+}
+
+// pearson is the sample correlation coefficient of x and y.
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n < 2 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// WriteText renders the report for humans.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("calibration: %s vs %s\n\n", r.Sim.Name, r.Real.Name); err != nil {
+		return err
+	}
+	p("%-6s %10s %12s %12s\n", "leg", "records", "span(s)", "rate(msg/s)")
+	for _, leg := range []Leg{r.Sim, r.Real} {
+		rate := 0.0
+		if leg.Duration > 0 {
+			rate = float64(leg.Records) / leg.Duration
+		}
+		p("%-6s %10d %12.2f %12.1f\n", leg.Name, leg.Records, leg.Duration, rate)
+	}
+
+	p("\n%-18s %10s %10s %8s\n", "dir/op", "sim", "real", "|err|%")
+	for _, row := range r.Rows {
+		errs := "-"
+		if !math.IsNaN(row.AbsPctErr) {
+			errs = fmt.Sprintf("%.1f", row.AbsPctErr)
+		}
+		p("%-18s %9.2f%% %9.2f%% %8s\n",
+			row.Key, 100*row.Sim.Share, 100*row.Real.Share, errs)
+	}
+
+	p("\nanswer latency (per leg clock, seconds):\n")
+	p("%-18s %-5s %6s %10s %10s %10s\n", "query op", "leg", "n", "p50", "p95", "p99")
+	for _, row := range r.Rows {
+		for _, leg := range []struct {
+			name string
+			st   OpStats
+		}{{r.Sim.Name, row.Sim}, {r.Real.Name, row.Real}} {
+			if leg.st.Latency.N == 0 {
+				continue
+			}
+			lq := leg.st.Latency
+			p("%-18s %-5s %6d %10.6f %10.6f %10.6f\n",
+				row.Key, leg.name, lq.N, lq.P50, lq.P95, lq.P99)
+		}
+	}
+
+	return p("\nMAPE (shares, ops with real support): %.1f%%\nPearson r (share vectors): %.4f\n",
+		r.MAPE, r.Pearson)
+}

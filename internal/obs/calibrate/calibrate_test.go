@@ -1,0 +1,134 @@
+package calibrate
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+func rec(t float64, client uint32, op string, dir xmlenc.Dir) *xmlenc.Record {
+	return &xmlenc.Record{T: t, Client: client, Op: op, Dir: dir}
+}
+
+func TestCollectorPairsLatencies(t *testing.T) {
+	c := NewCollector()
+	c.Write(rec(0.0, 1, "GetSources", xmlenc.DirQuery))
+	c.Write(rec(0.5, 1, "FoundSources", xmlenc.DirAnswer))
+	c.Write(rec(1.0, 2, "SearchReq", xmlenc.DirQuery))
+	// An unrelated answer op must not settle client 2's search.
+	c.Write(rec(1.2, 2, "FoundSources", xmlenc.DirAnswer))
+	c.Write(rec(1.4, 2, "SearchRes", xmlenc.DirAnswer))
+
+	leg := c.Leg("unit")
+	if leg.Records != 5 {
+		t.Fatalf("records = %d", leg.Records)
+	}
+	if leg.Duration != 1.4 {
+		t.Fatalf("duration = %f", leg.Duration)
+	}
+	gs := leg.Ops["q/GetSources"]
+	if gs.Count != 1 || gs.Latency.N != 1 || gs.Latency.P50 != 0.5 {
+		t.Fatalf("GetSources stats: %+v", gs)
+	}
+	sr := leg.Ops["q/SearchReq"]
+	if sr.Latency.N != 1 || math.Abs(sr.Latency.P50-0.4) > 1e-9 {
+		t.Fatalf("SearchReq latency: %+v", sr.Latency)
+	}
+	if leg.Ops["a/FoundSources"].Share != 2.0/5.0 {
+		t.Fatalf("share: %+v", leg.Ops["a/FoundSources"])
+	}
+}
+
+func TestCompareIdenticalLegs(t *testing.T) {
+	c := NewCollector()
+	for i := uint32(0); i < 10; i++ {
+		c.Write(rec(float64(i), i, "StatReq", xmlenc.DirQuery))
+		c.Write(rec(float64(i)+0.1, i, "StatRes", xmlenc.DirAnswer))
+		c.Write(rec(float64(i)+0.2, i, "SearchReq", xmlenc.DirQuery))
+	}
+	rep := Compare(c.Leg("sim"), c.Leg("real"))
+	if rep.MAPE != 0 {
+		t.Fatalf("identical legs, MAPE = %f", rep.MAPE)
+	}
+	if math.Abs(rep.Pearson-1) > 1e-12 {
+		t.Fatalf("identical legs, Pearson = %f", rep.Pearson)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"q/StatReq", "MAPE", "Pearson r"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCompareDisjointLegs(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	a.Write(rec(0, 1, "StatReq", xmlenc.DirQuery))
+	b.Write(rec(0, 1, "SearchReq", xmlenc.DirQuery))
+	rep := Compare(a.Leg("sim"), b.Leg("real"))
+	// Sim share 0 on the only real op → 100% error; anti-correlated.
+	if rep.MAPE != 100 {
+		t.Fatalf("MAPE = %f", rep.MAPE)
+	}
+	if rep.Pearson >= 0 {
+		t.Fatalf("Pearson = %f, want negative", rep.Pearson)
+	}
+}
+
+// TestCalibrationLoopShort is the CI-sized sim-vs-real run: both legs
+// must see the core query/answer opcodes, the mixes must correlate, and
+// the report must carry finite scores and latency quantiles.
+func TestCalibrationLoopShort(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Clients:              16,
+		MaxMessagesPerClient: 40,
+		Seed:                 7,
+		SimDuration:          2 * simtime.Hour,
+		Logf:                 t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sim.Records == 0 || rep.Real.Records == 0 {
+		t.Fatalf("empty leg: sim %d real %d", rep.Sim.Records, rep.Real.Records)
+	}
+	for _, key := range []string{"q/OfferFiles", "q/SearchReq", "q/GetSources", "a/FoundSources"} {
+		if rep.Sim.Ops[key].Count == 0 {
+			t.Errorf("sim leg never saw %s", key)
+		}
+		if rep.Real.Ops[key].Count == 0 {
+			t.Errorf("real leg never saw %s", key)
+		}
+	}
+	if math.IsNaN(rep.MAPE) || math.IsInf(rep.MAPE, 0) {
+		t.Fatalf("MAPE = %f", rep.MAPE)
+	}
+	// The sim is calibrated to the same traffic model; the mixes must at
+	// least strongly co-vary even at this tiny scale.
+	if !(rep.Pearson > 0.5) {
+		t.Fatalf("Pearson r = %f, want > 0.5", rep.Pearson)
+	}
+	var lats int
+	for _, row := range rep.Rows {
+		lats += row.Sim.Latency.N + row.Real.Latency.N
+	}
+	if lats == 0 {
+		t.Fatal("no answer latencies paired in either leg")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+}

@@ -96,6 +96,28 @@ func BenchmarkServerHandle(b *testing.B) {
 	})
 }
 
+// BenchmarkServerHandleInstrumentation measures what the observability
+// layer costs on the Handle hot path: "off" is the baseline (counters
+// and gauges only — those can't be turned off, Stats depends on them),
+// "on" adds the wall-clock timing and per-opcode latency histograms the
+// daemon runs with. scripts/bench_obs.sh records the pair to
+// BENCH_obs.json and gates the delta at < 5%.
+func BenchmarkServerHandleInstrumentation(b *testing.B) {
+	const nFiles = 1 << 15
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			s, msgs := benchServer(1, nFiles)
+			s.SetInstrumentation(mode == "on")
+			mask := len(msgs) - 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Handle(simtime.Time(i), ed2k.ClientID(1000+i%512), 4662, msgs[i&mask])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
 // BenchmarkServerHandleShardMatrix is the ROADMAP's shard-scaling
 // matrix: a fixed set of shard counts, meant to be crossed with
 // GOMAXPROCS via the -cpu flag —

@@ -19,10 +19,14 @@ package server
 
 import (
 	"math/bits"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"edtrace/internal/ed2k"
+	"edtrace/internal/obs"
 	"edtrace/internal/simtime"
 )
 
@@ -79,9 +83,14 @@ type shard struct {
 	files    map[ed2k.FileID]*indexedFile
 	keywords map[string][]ed2k.FileID
 	users    map[ed2k.ClientID]simtime.Time
-	received map[string]uint64
-	answered map[string]uint64
-	sources  int
+
+	// Index gauges, updated at the mutation points (under the lock
+	// already held there) and read lock-free by Stats/StatReq and the
+	// metrics exposition — the single source of truth for table sizes.
+	gFiles    *obs.Gauge
+	gKeywords *obs.Gauge
+	gUsers    *obs.Gauge
+	gSources  *obs.Gauge
 }
 
 // Server is an in-memory eDonkey directory server, safe for concurrent
@@ -99,6 +108,15 @@ type Server struct {
 	shards []*shard
 	mask   uint64
 
+	reg *obs.Registry
+	m   *metrics
+	// instr gates the wall-clock Handle timing (two time.Now calls per
+	// query plus a histogram observe). Counters and gauges are always
+	// live — Stats depends on them — but timing is only worth paying
+	// when somebody is watching, so it defaults on only when a registry
+	// was supplied. SetInstrumentation overrides either way.
+	instr atomic.Bool
+
 	// expireMu serialises ExpireSources sweeps. The posting-cleanup
 	// phase nests a file shard's read lock inside a keyword shard's
 	// write lock; that nesting direction is unique in the package, but
@@ -115,13 +133,28 @@ func New(name, desc string) *Server {
 
 // NewSharded returns an empty server whose index is split across n
 // independently-lockable shards (n is rounded up to a power of two;
-// n <= 1 degenerates to the single-lock layout).
+// n <= 1 degenerates to the single-lock layout). Metrics go to a
+// private registry and Handle timing is off — the simulator's
+// configuration. Use NewShardedWith to expose the metrics.
 func NewSharded(name, desc string, n int) *Server {
+	return NewShardedWith(name, desc, n, nil)
+}
+
+// NewShardedWith is NewSharded registering all metrics with reg: the
+// per-shard and aggregate index gauges, the per-opcode received and
+// answered counters, the Handle latency histograms, and the expiry
+// reclaim counters. A nil reg uses a private registry (still readable
+// via Metrics) and leaves Handle timing off.
+func NewShardedWith(name, desc string, n int, reg *obs.Registry) *Server {
 	if n < 1 {
 		n = 1
 	}
 	if n&(n-1) != 0 {
 		n = 1 << bits.Len(uint(n))
+	}
+	timing := reg != nil
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
 	s := &Server{
 		Name:      name,
@@ -129,18 +162,33 @@ func NewSharded(name, desc string, n int) *Server {
 		SourceTTL: 2 * simtime.Hour,
 		shards:    make([]*shard, n),
 		mask:      uint64(n - 1),
+		reg:       reg,
+		m:         newMetrics(reg),
 	}
+	s.instr.Store(timing)
 	for i := range s.shards {
+		lbl := obs.L("shard", strconv.Itoa(i))
 		s.shards[i] = &shard{
-			files:    make(map[ed2k.FileID]*indexedFile),
-			keywords: make(map[string][]ed2k.FileID),
-			users:    make(map[ed2k.ClientID]simtime.Time),
-			received: make(map[string]uint64),
-			answered: make(map[string]uint64),
+			files:     make(map[ed2k.FileID]*indexedFile),
+			keywords:  make(map[string][]ed2k.FileID),
+			users:     make(map[ed2k.ClientID]simtime.Time),
+			gFiles:    reg.Gauge("edserver_shard_files", "indexed files per shard", lbl),
+			gKeywords: reg.Gauge("edserver_shard_keywords", "keyword posting lists per shard", lbl),
+			gUsers:    reg.Gauge("edserver_shard_users", "registered users per shard", lbl),
+			gSources:  reg.Gauge("edserver_shard_sources", "indexed sources per shard", lbl),
 		}
 	}
+	s.registerIndexGauges(reg)
 	return s
 }
+
+// Metrics returns the registry the server's metrics live in.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// SetInstrumentation toggles the wall-clock Handle latency timing
+// (counters and gauges stay live either way). The bench harness uses
+// the off position as the uninstrumented baseline.
+func (s *Server) SetInstrumentation(on bool) { s.instr.Store(on) }
 
 // NumShards reports the shard count (after power-of-two rounding).
 func (s *Server) NumShards() int { return len(s.shards) }
@@ -204,10 +252,18 @@ func Tokenize(name string) []string {
 // GetSources yields one FoundSources per known hash). Safe for
 // concurrent use.
 func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg ed2k.Message) []ed2k.Message {
-	op := ed2k.OpcodeName(msg.Opcode())
+	op := msg.Opcode()
+	s.m.received.Inc(op)
+	var start time.Time
+	timing := s.instr.Load()
+	if timing {
+		start = time.Now()
+	}
 	us := s.userShard(from)
 	us.mu.Lock()
-	us.received[op]++
+	if _, seen := us.users[from]; !seen {
+		us.gUsers.Inc()
+	}
 	us.users[from] = now
 	us.mu.Unlock()
 
@@ -235,11 +291,12 @@ func (s *Server) Handle(now simtime.Time, from ed2k.ClientID, port uint16, msg e
 		// like a real server would.
 		return nil
 	}
-	us.mu.Lock()
 	for _, a := range answers {
-		us.answered[ed2k.OpcodeName(a.Opcode())]++
+		s.m.answered.Inc(a.Opcode())
 	}
-	us.mu.Unlock()
+	if timing {
+		s.m.handle.Observe(op, time.Since(start))
+	}
 	return answers
 }
 
@@ -279,9 +336,10 @@ func (s *Server) handleOffer(now simtime.Time, from ed2k.ClientID, port uint16, 
 			}
 			idx.size, _ = f.Size()
 			sh.files[f.ID] = idx
+			sh.gFiles.Inc()
 		}
 		if addSource(idx, from, port, now) {
-			sh.sources++
+			sh.gSources.Inc()
 		}
 		sh.mu.Unlock()
 		// Keyword indexing happens outside the file shard's lock (posting
@@ -296,6 +354,9 @@ func (s *Server) handleOffer(now simtime.Time, from ed2k.ClientID, port uint16, 
 					// Bound per-keyword lists: popular keywords stay
 					// useful, pathological ones stop growing.
 					if lst := ks.keywords[kw]; len(lst) < MaxPostingList {
+						if len(lst) == 0 {
+							ks.gKeywords.Inc()
+						}
 						ks.keywords[kw] = append(lst, f.ID)
 					}
 					ks.mu.Unlock()
@@ -493,18 +554,23 @@ func (s *Server) ExpireSources(now simtime.Time) {
 				if now-src.lastSeen <= s.SourceTTL {
 					kept = append(kept, src)
 				} else {
-					sh.sources--
+					sh.gSources.Dec()
+					s.m.reclaimedSources.Inc()
 				}
 			}
 			idx.sources = kept
 			if len(kept) == 0 {
 				delete(sh.files, id)
+				sh.gFiles.Dec()
+				s.m.reclaimedFiles.Inc()
 				deleted[id] = struct{}{}
 			}
 		}
 		for u, seen := range sh.users {
 			if now-seen > s.SourceTTL {
 				delete(sh.users, u)
+				sh.gUsers.Dec()
+				s.m.reclaimedUsers.Inc()
 			}
 		}
 		sh.mu.Unlock()
@@ -529,6 +595,7 @@ func (s *Server) ExpireSources(now simtime.Time) {
 			}
 			if len(kept) == 0 {
 				delete(sh.keywords, kw)
+				sh.gKeywords.Dec()
 			} else {
 				sh.keywords[kw] = kept
 			}
@@ -552,38 +619,30 @@ func (s *Server) fileExists(id ed2k.FileID, held *shard) bool {
 	return ok
 }
 
-// counts aggregates the user and file gauges across shards (read path of
-// StatReq). The totals are a consistent-enough snapshot: each shard is
-// read under its lock, but the sum is not atomic across shards — the
-// same fuzziness a deployed server's status answer had.
+// counts aggregates the user and file gauges across shards (read path
+// of StatReq) by summing the per-shard atomics — lock-free, so a StatReq
+// storm never contends with Handle. The sum is not atomic across
+// shards, the same fuzziness a deployed server's status answer had.
 func (s *Server) counts() (users, files int) {
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		users += len(sh.users)
-		files += len(sh.files)
-		sh.mu.RUnlock()
+		users += int(sh.gUsers.Value())
+		files += int(sh.gFiles.Value())
 	}
 	return users, files
 }
 
-// Stats snapshots the counters, aggregating every shard on read.
+// Stats snapshots the counters. Everything is read from the obs metrics
+// — the same gauges and counters /metrics exposes — so the two views
+// can never disagree, and the read takes no shard locks.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Received: make(map[string]uint64),
-		Answered: make(map[string]uint64),
+		Received: s.m.received.values(),
+		Answered: s.m.answered.values(),
 	}
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		st.IndexedFiles += len(sh.files)
-		st.IndexedSources += sh.sources
-		st.Users += len(sh.users)
-		for k, v := range sh.received {
-			st.Received[k] += v
-		}
-		for k, v := range sh.answered {
-			st.Answered[k] += v
-		}
-		sh.mu.RUnlock()
+		st.IndexedFiles += int(sh.gFiles.Value())
+		st.IndexedSources += int(sh.gSources.Value())
+		st.Users += int(sh.gUsers.Value())
 	}
 	return st
 }

@@ -2,6 +2,7 @@ package edtrace
 
 import (
 	"edtrace/internal/core"
+	"edtrace/internal/obs"
 	"edtrace/internal/simtime"
 )
 
@@ -33,6 +34,7 @@ type sessionOptions struct {
 	haveBytePair  bool
 	queueDepth    int
 	batchSize     int
+	metrics       *obs.Registry
 }
 
 // WithDataset streams the anonymised XML dataset to dir; gzip compresses
@@ -116,6 +118,17 @@ func WithQueueDepth(n int) Option {
 			o.queueDepth = n
 		}
 	}
+}
+
+// WithMetrics publishes the session pipeline's metrics into reg:
+// frames/records/batches throughput counters, the live queue depth and
+// average batch fill ratio, and frames dropped by cancellation or a
+// pipeline error. Without it the session adds no instrumentation to the
+// hot path. Counters are cumulative across sessions sharing a registry;
+// the queue gauges always describe the most recent session (a
+// re-registration re-points the read callbacks).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(o *sessionOptions) { o.metrics = reg }
 }
 
 // WithBatchSize sets how many frames the source accumulates per channel

@@ -1,0 +1,106 @@
+#!/bin/sh
+# bench_obs.sh — measure the observability layer's hot-path overhead and
+# record it to BENCH_obs.json at the repo root.
+#
+# Two instrumented-vs-uninstrumented pairs are compared:
+#   BenchmarkServerHandleInstrumentation/off vs /on
+#       — the sharded index's Handle with wall-clock timing + histograms
+#   BenchmarkSessionPipeline vs BenchmarkSessionPipelineMetrics
+#       — the Session frame pipeline with WithMetrics attached
+#
+# The gate: each instrumented ns/op may exceed its baseline by at most
+# GATE_PCT (default 5%). The script exits non-zero past the gate, so it
+# doubles as a regression check.
+#
+# Usage: scripts/bench_obs.sh [benchtime]
+#   benchtime: go test -benchtime value (default 200000x for the server
+#   pair and 2s for the session pair; pass e.g. 5s to steady both)
+set -eu
+cd "$(dirname "$0")/.."
+
+GATE_PCT="${GATE_PCT:-5}"
+SRV_BENCHTIME="${1:-200000x}"
+SES_BENCHTIME="${1:-2s}"
+OUT="BENCH_obs.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP.json"' EXIT
+
+echo "running BenchmarkServerHandleInstrumentation (benchtime=$SRV_BENCHTIME, count=3)..." >&2
+go test -run '^$' -bench '^BenchmarkServerHandleInstrumentation$' -count 3 \
+    -benchtime "$SRV_BENCHTIME" ./internal/server/ | tee -a "$TMP" >&2
+echo "running BenchmarkSessionPipeline(Metrics) (benchtime=$SES_BENCHTIME, count=3)..." >&2
+go test -run '^$' -bench '^BenchmarkSessionPipeline(Metrics)?$' -count 3 \
+    -benchtime "$SES_BENCHTIME" . | tee -a "$TMP" >&2
+
+# Parse `Benchmark<Name>[-cpu] <iters> <value> <unit> ...` lines into a
+# JSON array; every (value, unit) pair after the iteration count becomes
+# a metric ("ns/op", "msgs/s", ...).
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (line != "") line = line ", "
+        line = line "\"" $(i + 1) "\": " $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", $1, $2, line
+}
+END { printf "\n" }
+' "$TMP" > "$TMP.json"
+
+# Pull the minimum ns/op across the -count repetitions for an exact
+# benchmark name (an optional -N GOMAXPROCS suffix is tolerated;
+# "Pipeline" must not swallow "PipelineMetrics"). The minimum is the
+# least-noise estimate of the true cost on a shared box.
+nsop() {
+    awk -v want="$1" '
+    /^Benchmark/ {
+        if ($1 == want || index($1, want "-") == 1) {
+            for (i = 3; i + 1 <= NF; i += 2)
+                if ($(i + 1) == "ns/op" && (best == "" || $i + 0 < best + 0)) best = $i
+        }
+    }
+    END { print best }' "$TMP"
+}
+
+SRV_OFF="$(nsop 'BenchmarkServerHandleInstrumentation/off')"
+SRV_ON="$(nsop 'BenchmarkServerHandleInstrumentation/on')"
+SES_OFF="$(nsop 'BenchmarkSessionPipeline')"
+SES_ON="$(nsop 'BenchmarkSessionPipelineMetrics')"
+
+overhead() { awk -v off="$1" -v on="$2" 'BEGIN { printf "%.2f", 100 * (on - off) / off }'; }
+SRV_OVER="$(overhead "$SRV_OFF" "$SRV_ON")"
+SES_OVER="$(overhead "$SES_OFF" "$SES_ON")"
+
+PASS=true
+for over in "$SRV_OVER" "$SES_OVER"; do
+    if awk -v o="$over" -v g="$GATE_PCT" 'BEGIN { exit !(o > g) }'; then
+        PASS=false
+    fi
+done
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "gate_pct": %s,\n' "$GATE_PCT"
+    printf '  "server_handle": {"off_ns_op": %s, "on_ns_op": %s, "overhead_pct": %s},\n' \
+        "$SRV_OFF" "$SRV_ON" "$SRV_OVER"
+    printf '  "session_pipeline": {"off_ns_op": %s, "on_ns_op": %s, "overhead_pct": %s},\n' \
+        "$SES_OFF" "$SES_ON" "$SES_OVER"
+    printf '  "gate_passed": %s,\n' "$PASS"
+    printf '  "benchmarks": [\n'
+    cat "$TMP.json"
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
+echo "server Handle overhead: ${SRV_OVER}% (off $SRV_OFF -> on $SRV_ON ns/op)" >&2
+echo "session pipeline overhead: ${SES_OVER}% (off $SES_OFF -> on $SES_ON ns/op)" >&2
+echo "wrote $OUT" >&2
+if [ "$PASS" != true ]; then
+    echo "FAIL: instrumentation overhead exceeds ${GATE_PCT}% gate" >&2
+    exit 1
+fi

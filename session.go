@@ -14,6 +14,7 @@ import (
 	"edtrace/internal/analysis"
 	"edtrace/internal/core"
 	"edtrace/internal/dataset"
+	"edtrace/internal/obs"
 	"edtrace/internal/pcap"
 	"edtrace/internal/simtime"
 	"edtrace/internal/xmlenc"
@@ -52,6 +53,85 @@ func (t teeSink) Write(r *xmlenc.Record) error {
 type frameItem struct {
 	t    simtime.Time
 	data []byte
+}
+
+// sessionMetrics instruments one Run when WithMetrics was given; a nil
+// receiver (no registry) makes every method a no-op, so the uninstru-
+// mented hot path pays only a nil check per frame.
+type sessionMetrics struct {
+	frames      *obs.Counter
+	records     *obs.Counter
+	batches     *obs.Counter
+	dropped     *obs.Counter
+	lastRecords uint64
+	pipe        *core.Pipeline
+}
+
+func newSessionMetrics(reg *obs.Registry, frames chan []frameItem, depth, batchSize int, pipe *core.Pipeline) *sessionMetrics {
+	if reg == nil {
+		return nil
+	}
+	sm := &sessionMetrics{
+		frames:  reg.Counter("edsession_frames_total", "frames processed by the pipeline stage"),
+		records: reg.Counter("edsession_records_total", "anonymised records emitted"),
+		batches: reg.Counter("edsession_batches_total", "frame batches consumed from the queue"),
+		dropped: reg.Counter("edsession_dropped_frames_total", "frames dropped by cancellation or a pipeline error"),
+		pipe:    pipe,
+	}
+	// Queue gauges are read callbacks over this session's channel; a
+	// later session on the same registry re-points them at its own.
+	reg.GaugeFunc("edsession_queue_batches", "frame batches waiting between source and pipeline",
+		func() float64 { return float64(len(frames)) })
+	reg.GaugeFunc("edsession_queue_capacity_batches", "frame queue capacity in batches",
+		func() float64 { return float64(depth) })
+	cFrames, cBatches := sm.frames, sm.batches
+	reg.GaugeFunc("edsession_batch_fill_ratio", "mean frames per consumed batch over the batch size",
+		func() float64 {
+			b := cBatches.Value()
+			if b == 0 {
+				return 0
+			}
+			return float64(cFrames.Value()) / float64(b) / float64(batchSize)
+		})
+	return sm
+}
+
+// frameDone counts one processed frame.
+func (sm *sessionMetrics) frameDone() {
+	if sm != nil {
+		sm.frames.Inc()
+	}
+}
+
+// batchDone counts one consumed batch and folds in the records the
+// pipeline emitted for it (pipe.Stats is only safe from this goroutine,
+// so the atomic counter carries the value to concurrent scrapes).
+func (sm *sessionMetrics) batchDone() {
+	if sm == nil {
+		return
+	}
+	sm.batches.Inc()
+	rec := sm.pipe.Stats().Records
+	sm.records.Add(rec - sm.lastRecords)
+	sm.lastRecords = rec
+}
+
+// drop counts frames abandoned mid-batch by an error or cancellation.
+func (sm *sessionMetrics) drop(n int) {
+	if sm != nil && n > 0 {
+		sm.dropped.Add(uint64(n))
+	}
+}
+
+// drainDropped counts the batches still queued when the consumer gave
+// up (on success the channel is closed and empty, so this is free).
+func (sm *sessionMetrics) drainDropped(frames <-chan []frameItem) {
+	if sm == nil {
+		return
+	}
+	for batch := range frames {
+		sm.dropped.Add(uint64(len(batch)))
+	}
 }
 
 // Session runs one capture: a Source streams timestamped ethernet frames
@@ -197,6 +277,7 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 	depth := (s.o.queueDepth + batchSize - 1) / batchSize
 	frames := make(chan []frameItem, depth)
 	prodErr := make(chan error, 1)
+	sm := newSessionMetrics(s.o.metrics, frames, depth, batchSize, pipe)
 	go func() {
 		defer close(frames)
 		batch := make([]frameItem, 0, batchSize)
@@ -241,20 +322,23 @@ consume:
 			if !ok {
 				break consume
 			}
-			for _, f := range batch {
+			for i, f := range batch {
 				if tee != nil {
 					if werr := tee.Write(pcap.RecordAt(f.t, f.data)); werr != nil {
 						pipeErr = werr
+						sm.drop(len(batch) - i)
 						cancel()
 						break consume
 					}
 				}
 				if perr := pipe.ProcessFrame(f.t, f.data); perr != nil {
 					pipeErr = perr
+					sm.drop(len(batch) - i)
 					cancel()
 					break consume
 				}
 				nframes++
+				sm.frameDone()
 				lastT = f.t
 				if f.t-lastExpire > simtime.Minute {
 					pipe.ExpireReassembly(f.t)
@@ -264,6 +348,7 @@ consume:
 					s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: f.t})
 				}
 			}
+			sm.batchDone()
 		case <-ctx.Done():
 			pipeErr = ctx.Err()
 			cancel()
@@ -271,6 +356,7 @@ consume:
 		}
 	}
 	perr := <-prodErr
+	sm.drainDropped(frames)
 	if pipeErr != nil {
 		return nil, pipeErr
 	}

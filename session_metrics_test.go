@@ -1,0 +1,105 @@
+package edtrace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"edtrace/internal/obs"
+	"edtrace/internal/simtime"
+	"edtrace/internal/xmlenc"
+)
+
+// TestSessionWithMetrics checks the pipeline's own counters agree with
+// the session report on a clean run, and that the queue gauges render.
+func TestSessionWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := NewSession(NewSimSource(tinySim()), WithMetrics(reg)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Report.Pipeline
+	if got := reg.Counter("edsession_frames_total", "").Value(); got != p.Frames {
+		t.Fatalf("frames counter %d, report %d", got, p.Frames)
+	}
+	if got := reg.Counter("edsession_records_total", "").Value(); got != p.Records {
+		t.Fatalf("records counter %d, report %d", got, p.Records)
+	}
+	if got := reg.Counter("edsession_dropped_frames_total", "").Value(); got != 0 {
+		t.Fatalf("clean run dropped %d frames", got)
+	}
+	if reg.Counter("edsession_batches_total", "").Value() == 0 {
+		t.Fatal("no batches counted")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"edsession_batch_fill_ratio",
+		"edsession_queue_capacity_batches",
+		"edsession_queue_batches 0", // drained at end of run
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// gatedSource emits one frame (whose record will park the consumer in
+// blockErrSink), fills the whole frame queue behind it, and only then
+// releases the sink — so the abort finds a deterministic number of
+// frames in flight.
+type gatedSource struct {
+	frames  [][]byte
+	release chan struct{}
+}
+
+func (s *gatedSource) Frames(ctx context.Context, emit EmitFunc) error {
+	for i := 0; i < 5; i++ {
+		if err := emit(simtime.Time(i)*simtime.Microsecond, s.frames[i]); err != nil {
+			return err
+		}
+	}
+	close(s.release)
+	return nil
+}
+
+// blockErrSink blocks the pipeline on the first record until released,
+// then fails it.
+type blockErrSink struct{ release chan struct{} }
+
+func (s *blockErrSink) Write(*xmlenc.Record) error {
+	<-s.release
+	return errors.New("gated sink failure")
+}
+
+// TestSessionMetricsDroppedInFlight: frames still in flight when the
+// run aborts (a pipeline error, or equivalently a cancellation — both
+// share the drop/drain accounting) are counted as dropped, not silently
+// discarded. With batch size 1 and a 4-batch queue, the failing frame
+// plus the 4 queued behind it make exactly 5.
+func TestSessionMetricsDroppedInFlight(t *testing.T) {
+	release := make(chan struct{})
+	src := &gatedSource{frames: benchFrames(8), release: release}
+	reg := obs.NewRegistry()
+	_, err := NewSession(src,
+		WithServerIP(0x0A000001),
+		WithMetrics(reg),
+		WithSink(&blockErrSink{release: release}),
+		WithBatchSize(1),
+		WithQueueDepth(4),
+	).Run(context.Background())
+	if err == nil || err.Error() != "gated sink failure" {
+		t.Fatalf("sink error not surfaced: %v", err)
+	}
+	if got := reg.Counter("edsession_dropped_frames_total", "").Value(); got != 5 {
+		t.Fatalf("dropped counter %d, want 5 (failing frame + 4 queued)", got)
+	}
+	if got := reg.Counter("edsession_frames_total", "").Value(); got != 0 {
+		t.Fatalf("frames counter %d, want 0 (first frame never completed)", got)
+	}
+}
