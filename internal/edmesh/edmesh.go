@@ -174,8 +174,9 @@ type Mesh struct {
 	// Gossip and forwarding counters — obs series, so Stats() and the
 	// metrics exposition read the same numbers. The per-peer latency
 	// EWMA and health state are registered as read callbacks when a
-	// peer is discovered (the render path never runs under m.mu, so a
-	// callback re-taking m.mu is deadlock-free).
+	// peer is discovered and unregistered when it is forgotten (the
+	// render path never runs under m.mu, so a callback re-taking m.mu
+	// is deadlock-free).
 	reg                       *obs.Registry
 	cAnnSent, cAnnRecv        *obs.Counter
 	cFwdSent, cFwdServed      *obs.Counter
@@ -316,10 +317,16 @@ func (m *Mesh) announceLoop() {
 	}
 }
 
-// announce sends one gossip round and ejects silent peers.
+// announce sends one gossip round, ejects silent peers, and forgets
+// peers silent past PeerTTL+EjectBackoff: the entry and its two
+// labelled gauge series are dropped, so a long-lived mesh with peer
+// churn does not grow its server list and exposition without bound
+// (and a dead peer stops reporting a misleading zero latency). A
+// forgotten peer that comes back is simply rediscovered.
 func (m *Mesh) announce() {
 	users, files := m.d.IndexCounts()
 	now := time.Now()
+	forgetAfter := m.cfg.PeerTTL + m.cfg.EjectBackoff
 
 	m.mu.Lock()
 	self := m.self
@@ -329,6 +336,12 @@ func (m *Mesh) announce() {
 	targets := make([]*net.UDPAddr, 0, len(m.peers)+len(m.bootstrap))
 	seen := map[string]bool{m.selfKey: true}
 	for key, p := range m.peers {
+		if silent := now.Sub(p.lastSeen); silent > forgetAfter {
+			delete(m.peers, key)
+			m.unregisterPeerGauges(key)
+			m.logf("edmesh: %s: forgot peer %s at %s (silent %v)", m.self.Name, p.name, key, silent.Round(time.Millisecond))
+			continue
+		}
 		if !p.ejected && now.Sub(p.lastSeen) > m.cfg.PeerTTL {
 			m.ejectLocked(p, now, "silent past TTL")
 		}
@@ -447,7 +460,8 @@ func (m *Mesh) handleAnnounce(from *net.UDPAddr, ann *ed2k.MeshAnnounce) {
 // registerPeerGauges publishes one peer's health row as read callbacks:
 // the latency EWMA and whether it is eligible for forwards. Called with
 // m.mu held when the peer is first created; the callbacks re-take m.mu,
-// which is safe because the registry never renders under m.mu.
+// which is safe because the registry never renders under m.mu. The TTL
+// sweep unregisters the pair when the peer is forgotten.
 func (m *Mesh) registerPeerGauges(key string) {
 	lbl := obs.L("peer", key)
 	m.reg.GaugeFunc("edmesh_peer_latency_seconds", "per-peer forward round-trip EWMA", func() float64 {
@@ -466,6 +480,15 @@ func (m *Mesh) registerPeerGauges(key string) {
 		}
 		return 0
 	}, lbl)
+}
+
+// unregisterPeerGauges drops a forgotten peer's gauge series. Called
+// with m.mu held; the m.mu→registry lock order matches registration,
+// and rendering never holds the registry lock while running callbacks.
+func (m *Mesh) unregisterPeerGauges(key string) {
+	lbl := obs.L("peer", key)
+	m.reg.Unregister("edmesh_peer_latency_seconds", lbl)
+	m.reg.Unregister("edmesh_peer_healthy", lbl)
 }
 
 func cloneUDPAddr(a *net.UDPAddr) *net.UDPAddr {

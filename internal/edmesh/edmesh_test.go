@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -324,6 +325,43 @@ func TestSilentPeerTTLSweep(t *testing.T) {
 		}
 		return false
 	})
+}
+
+// TestDeadPeerForgotten proves the churn bound: a peer silent past
+// PeerTTL+EjectBackoff is dropped from the server list entirely and its
+// two labelled gauge series leave the metrics exposition, so a
+// long-lived mesh with peer churn does not grow without bound.
+func TestDeadPeerForgotten(t *testing.T) {
+	cfg := fastCfg()
+	cfg.EjectBackoff = 200 * time.Millisecond
+	n0 := startNode(t, "mesh-0", cfg)
+	n1 := startNode(t, "mesh-1", fastCfg(n0.udpAddr()))
+	waitFor(t, 3*time.Second, "2-node convergence", func() bool {
+		return knows(n0.m, "mesh-1")
+	})
+	key := n1.udpAddr()
+	if !promHasPeer(t, n0, key) {
+		t.Fatalf("exposition missing per-peer series for %s", key)
+	}
+
+	n1.m.Close() // daemon stays up, gossip stops
+	waitFor(t, 5*time.Second, "silent peer forgotten", func() bool {
+		return len(n0.m.Peers()) == 0
+	})
+	if promHasPeer(t, n0, key) {
+		t.Fatalf("per-peer series for forgotten peer %s still in exposition", key)
+	}
+}
+
+// promHasPeer reports whether the node's exposition carries any series
+// labelled with the given peer key.
+func promHasPeer(t *testing.T, n *node, key string) bool {
+	t.Helper()
+	var buf strings.Builder
+	if err := n.d.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Contains(buf.String(), `peer="`+key+`"`)
 }
 
 // TestForwardBoundedByFanOut checks the fan-out cap: with five peers and

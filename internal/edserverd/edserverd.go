@@ -261,8 +261,12 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.MetricsAddr != "" {
 		msrv, err := obs.Serve(cfg.MetricsAddr, reg, d.Health)
 		if err != nil {
-			d.cancel()
-			d.closeListeners()
+			// The serving goroutines are already up: tear down exactly as
+			// Shutdown would and wait for them to drain, so none of them
+			// runs (or logs via cfg.Logf) after this constructor reports
+			// failure. The unbounded wait is safe — the loops exit as soon
+			// as their listeners close.
+			d.Shutdown(context.Background())
 			return nil, fmt.Errorf("edserverd: metrics: %w", err)
 		}
 		d.msrv = msrv

@@ -18,6 +18,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -314,9 +315,11 @@ func sortLabels(labels []Label) []Label {
 	return out
 }
 
-// getChild finds or creates the (family, child) pair; make builds the
-// child payload on first creation.
-func (r *Registry) getChild(name, help string, k kind, labels []Label, make func(*child)) *child {
+// getChild finds or creates the (family, child) pair; init runs under
+// root.mu on every call — it is the only place callers may create the
+// metric payload or swap a callback, which keeps those writes ordered
+// with the render path's locked reads.
+func (r *Registry) getChild(name, help string, k kind, labels []Label, init func(*child)) *child {
 	if !validName(name) {
 		panic("obs: invalid metric name " + strconv.Quote(name))
 	}
@@ -342,51 +345,109 @@ func (r *Registry) getChild(name, help string, k kind, labels []Label, make func
 	c := f.byKey[key]
 	if c == nil {
 		c = &child{labels: all}
-		make(c)
 		f.byKey[key] = c
 		f.children = append(f.children, c)
 	}
+	init(c)
 	return c
 }
 
 // Counter returns the counter for name+labels, creating it on first use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	c := r.getChild(name, help, kindCounter, labels, func(c *child) { c.counter = &Counter{} })
-	if c.counter == nil {
-		panic("obs: " + name + " is a counter func, not a counter")
-	}
-	return c.counter
+	var out *Counter
+	r.getChild(name, help, kindCounter, labels, func(c *child) {
+		if c.counterFn != nil {
+			panic("obs: " + name + " is a counter func, not a counter")
+		}
+		if c.counter == nil {
+			c.counter = &Counter{}
+		}
+		out = c.counter
+	})
+	return out
 }
 
 // CounterFunc registers a read callback rendered as a counter. A
 // re-registration replaces the callback.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
-	c := r.getChild(name, help, kindCounter, labels, func(c *child) {})
-	c.counter, c.counterFn = nil, fn
+	r.getChild(name, help, kindCounter, labels, func(c *child) {
+		c.counter, c.counterFn = nil, fn
+	})
 }
 
 // Gauge returns the gauge for name+labels, creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	c := r.getChild(name, help, kindGauge, labels, func(c *child) { c.gauge = &Gauge{} })
-	if c.gauge == nil {
-		panic("obs: " + name + " is a gauge func, not a gauge")
-	}
-	return c.gauge
+	var out *Gauge
+	r.getChild(name, help, kindGauge, labels, func(c *child) {
+		if c.gaugeFn != nil {
+			panic("obs: " + name + " is a gauge func, not a gauge")
+		}
+		if c.gauge == nil {
+			c.gauge = &Gauge{}
+		}
+		out = c.gauge
+	})
+	return out
 }
 
 // GaugeFunc registers a read callback rendered as a gauge. A
 // re-registration replaces the callback (a second Session reusing a
 // registry re-points the queue-depth gauge at its own channel).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	c := r.getChild(name, help, kindGauge, labels, func(c *child) {})
-	c.gauge, c.gaugeFn = nil, fn
+	r.getChild(name, help, kindGauge, labels, func(c *child) {
+		c.gauge, c.gaugeFn = nil, fn
+	})
 }
 
 // Histogram returns the histogram for name+labels, creating it with
 // the given bounds (nil = DefBuckets) on first use.
 func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels ...Label) *Histogram {
-	c := r.getChild(name, help, kindHistogram, labels, func(c *child) { c.hist = NewHistogram(bounds) })
-	return c.hist
+	var out *Histogram
+	r.getChild(name, help, kindHistogram, labels, func(c *child) {
+		if c.hist == nil {
+			c.hist = NewHistogram(bounds)
+		}
+		out = c.hist
+	})
+	return out
+}
+
+// Unregister removes the series for name with exactly these labels
+// (combined with the view's constant labels, as on registration) and
+// reports whether it existed. An empty family is removed with it.
+// Components whose labelled series churn — a mesh's per-peer gauges as
+// peers come and go — must unregister them, or the exposition grows
+// without bound.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	all := sortLabels(append(append([]Label(nil), r.base...), labels...))
+	root := r.root
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	f := root.byName[name]
+	if f == nil {
+		return false
+	}
+	key := labelKey(all)
+	if _, ok := f.byKey[key]; !ok {
+		return false
+	}
+	delete(f.byKey, key)
+	for i, c := range f.children {
+		if labelKey(c.labels) == key {
+			f.children = append(f.children[:i], f.children[i+1:]...)
+			break
+		}
+	}
+	if len(f.children) == 0 {
+		delete(root.byName, name)
+		for i, ff := range root.families {
+			if ff == f {
+				root.families = append(root.families[:i], root.families[i+1:]...)
+				break
+			}
+		}
+	}
+	return true
 }
 
 // snapshot returns a stable copy of the family list for rendering.
@@ -395,6 +456,22 @@ func (r *Registry) snapshot() []*family {
 	defer r.root.mu.Unlock()
 	out := make([]*family, len(r.root.families))
 	copy(out, r.root.families)
+	return out
+}
+
+// childSnapshots copies a family's children by value under root.mu.
+// Child payloads (metric pointers and callbacks) are only ever written
+// under that lock, so the copies are race-free to read; the callbacks
+// they carry are invoked only after the lock is released, because a
+// callback may take its component's lock, which that component holds
+// while registering — rendering under root.mu would deadlock.
+func (r *Registry) childSnapshots(f *family) []child {
+	r.root.mu.Lock()
+	defer r.root.mu.Unlock()
+	out := make([]child, len(f.children))
+	for i, c := range f.children {
+		out[i] = *c
+	}
 	return out
 }
 
@@ -446,10 +523,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.snapshot() {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		r.root.mu.Lock()
-		children := append([]*child(nil), f.children...)
-		r.root.mu.Unlock()
-		for _, c := range children {
+		for _, c := range r.childSnapshots(f) {
 			switch f.kind {
 			case kindCounter:
 				v := uint64(0)
@@ -498,12 +572,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			b.WriteString(",")
 		}
 		first = false
-		fmt.Fprintf(&b, "\n  %s: {\"type\": %q, \"help\": %q, \"samples\": [",
-			strconv.Quote(f.name), f.kind.String(), f.help)
-		r.root.mu.Lock()
-		children := append([]*child(nil), f.children...)
-		r.root.mu.Unlock()
-		for i, c := range children {
+		fmt.Fprintf(&b, "\n  %s: {\"type\": %s, \"help\": %s, \"samples\": [",
+			jsonString(f.name), jsonString(f.kind.String()), jsonString(f.help))
+		for i, c := range r.childSnapshots(f) {
 			if i > 0 {
 				b.WriteString(",")
 			}
@@ -512,7 +583,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				if j > 0 {
 					b.WriteString(", ")
 				}
-				fmt.Fprintf(&b, "%s: %s", strconv.Quote(l.Key), strconv.Quote(l.Value))
+				fmt.Fprintf(&b, "%s: %s", jsonString(l.Key), jsonString(l.Value))
 			}
 			b.WriteString("}, ")
 			switch f.kind {
@@ -553,4 +624,16 @@ func jsonFloat(v float64) string {
 		return "null"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonString renders s as a JSON string. Go-style quoting
+// (strconv.Quote, %q) is not usable here: it escapes non-printable and
+// non-ASCII bytes as \x../\U.. sequences that are invalid JSON, and
+// label values can carry arbitrary wire bytes (peer names).
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // unreachable for a string, but never emit bad JSON
+		return `""`
+	}
+	return string(b)
 }

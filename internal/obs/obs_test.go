@@ -226,6 +226,117 @@ func TestPrometheusTextFormat(t *testing.T) {
 	}
 }
 
+// TestFuncReRegistrationRace is the race-detector repro for callback
+// registration vs rendering: edmesh re-registers peer gauges on every
+// discovery while the daemon's /metrics endpoint is being scraped, so
+// the payload swap must be ordered with the render path's reads. Run
+// under -race this catches any unlocked assignment in
+// CounterFunc/GaugeFunc/Unregister.
+func TestFuncReRegistrationRace(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := float64(i)
+			n := uint64(i)
+			reg.GaugeFunc("race_gauge", "g", func() float64 { return v })
+			reg.CounterFunc("race_total", "c", func() uint64 { return n })
+			peer := strconv.Itoa(i % 4)
+			reg.GaugeFunc("race_peer", "per peer", func() float64 { return v }, L("peer", peer))
+			if i%8 == 0 {
+				reg.Unregister("race_peer", L("peer", peer))
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteJSON(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestUnregister(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("u_gauge", "g", L("peer", "a")).Set(1)
+	reg.Gauge("u_gauge", "g", L("peer", "b")).Set(2)
+	if !reg.Unregister("u_gauge", L("peer", "a")) {
+		t.Fatal("Unregister returned false for a live series")
+	}
+	if reg.Unregister("u_gauge", L("peer", "a")) {
+		t.Fatal("second Unregister of the same series returned true")
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `peer="a"`) {
+		t.Fatalf("unregistered series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `u_gauge{peer="b"} 2`) {
+		t.Fatalf("sibling series lost:\n%s", out)
+	}
+	reg.Unregister("u_gauge", L("peer", "b"))
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "u_gauge") {
+		t.Fatalf("empty family still rendered:\n%s", buf.String())
+	}
+	// A fresh registration after full removal must work again.
+	reg.Gauge("u_gauge", "g", L("peer", "c")).Set(3)
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `u_gauge{peer="c"} 3`) {
+		t.Fatalf("re-registration after removal lost:\n%s", buf.String())
+	}
+}
+
+// TestWriteJSONNonPrintableLabel: label values can carry arbitrary wire
+// bytes (a peer name straight off the network). Go-style %q quoting
+// escapes non-printables as \x.., which is invalid JSON — the output
+// must stay parseable, and valid-UTF-8 values must round-trip.
+func TestWriteJSONNonPrintableLabel(t *testing.T) {
+	reg := NewRegistry()
+	tricky := "peer\x01\x02é\n\tend"
+	reg.Counter("np_total", "help with \x03 byte", L("peer", tricky)).Add(1)
+	reg.Gauge("np_gauge", "g", L("peer", "raw\xff")).Set(2) // invalid UTF-8: must still parse
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]struct {
+		Help    string           `json:"help"`
+		Samples []map[string]any `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	labels := parsed["np_total"].Samples[0]["labels"].(map[string]any)
+	if got := labels["peer"].(string); got != tricky {
+		t.Fatalf("label value round-trip = %q, want %q", got, tricky)
+	}
+	if got := parsed["np_total"].Help; got != "help with \x03 byte" {
+		t.Fatalf("help round-trip = %q", got)
+	}
+}
+
 func TestWriteJSONParses(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("j_total", "c", L("op", `quo"te`)).Add(5)
