@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	edanalyze -in /tmp/ds [-csv /tmp/csv]
+//	edanalyze -in /tmp/ds [-csv /tmp/csv] [-windows 4]
 //	edanalyze -pcap /tmp/capture.pcap -server 192.168.0.1
+//
+// -windows N re-analyses the dataset under N nested capture windows
+// (full span, half, quarter, ...) and reports how every figure shifts —
+// the finite-measurement-bias question of Benamara & Magnien.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"edtrace/internal/analysis"
 	"edtrace/internal/dataset"
 	"edtrace/internal/stats"
+	"edtrace/internal/xmlenc"
 )
 
 func main() {
@@ -33,6 +38,7 @@ func main() {
 		server   = flag.String("server", "", "server IPv4 address (required with -pcap)")
 		csv      = flag.String("csv", "", "directory to write per-figure CSV series")
 		verify   = flag.Bool("verify", false, "check every spec invariant before analysing")
+		windows  = flag.Int("windows", 0, "nested capture windows for the finite-measurement-bias report (0 = off, needs -in)")
 	)
 	flag.Parse()
 	if (*in == "") == (*pcapFile == "") {
@@ -41,6 +47,10 @@ func main() {
 	}
 	if *verify && *pcapFile != "" {
 		fmt.Fprintln(os.Stderr, "edanalyze: -verify checks dataset invariants and requires -in")
+		os.Exit(2)
+	}
+	if *windows != 0 && *in == "" {
+		fmt.Fprintln(os.Stderr, "edanalyze: -windows re-analyses a dataset and requires -in")
 		os.Exit(2)
 	}
 
@@ -91,11 +101,32 @@ func main() {
 		}
 
 		c := analysis.NewCollector()
-		if err := dataset.ForEach(*in, c.Write); err != nil {
+		maxT := 0.0
+		if err := dataset.ForEach(*in, func(r *xmlenc.Record) error {
+			if r.T > maxT {
+				maxT = r.T
+			}
+			return c.Write(r)
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "edanalyze:", err)
 			os.Exit(1)
 		}
 		figs = c.Finalize()
+
+		if *windows != 0 {
+			// Second pass: route every record into the nested windows.
+			// Records at exactly maxT must land inside the full window.
+			ws, err := analysis.NewWindowSet(maxT+1e-9, *windows)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edanalyze:", err)
+				os.Exit(1)
+			}
+			if err := dataset.ForEach(*in, ws.Write); err != nil {
+				fmt.Fprintln(os.Stderr, "edanalyze:", err)
+				os.Exit(1)
+			}
+			fmt.Print(ws.Finalize().Render())
+		}
 	}
 	fmt.Print(figs.Render())
 

@@ -14,6 +14,13 @@
 //
 //	edload -addr 127.0.0.1:4661 -clients 500
 //	edload -addr 127.0.0.1:4661,127.0.0.1:5661 -clients 2000 -seed 9
+//	edload -addr 127.0.0.1:4661 -spec examples/specs/tenweeks.json -compress 10080
+//
+// With -spec, the fixed swarm is replaced by the spec-driven workload
+// engine: session arrivals, churn and flash crowds from the JSON spec
+// (docs/workload-spec.md), paced onto the wall clock by the compression
+// factor (-compress overrides the spec's own). -metrics exposes the
+// replay's gauges and per-phase counters while it runs.
 package main
 
 import (
@@ -29,16 +36,21 @@ import (
 
 	"edtrace/internal/clients"
 	"edtrace/internal/edload"
+	"edtrace/internal/obs"
+	"edtrace/internal/workload"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:4661", "server TCP addresses, comma-separated in priority order")
-		nconn   = flag.Int("clients", 500, "concurrent TCP client sessions")
-		seed    = flag.Uint64("seed", 1, "population seed")
-		files   = flag.Int("files", 2000, "synthetic catalog size")
-		maxMsgs = flag.Int("max-msgs", 256, "per-client message cap")
-		quiet   = flag.Bool("quiet", false, "suppress lifecycle logging")
+		addr     = flag.String("addr", "127.0.0.1:4661", "server TCP addresses, comma-separated in priority order")
+		nconn    = flag.Int("clients", 500, "concurrent TCP client sessions (cap with -spec)")
+		seed     = flag.Uint64("seed", 1, "population seed (ignored with -spec: the spec carries its own)")
+		files    = flag.Int("files", 2000, "synthetic catalog size (ignored with -spec)")
+		maxMsgs  = flag.Int("max-msgs", 256, "per-client message cap")
+		spec     = flag.String("spec", "", "workload spec JSON: drive the swarm from the engine's event stream")
+		compress = flag.Float64("compress", 0, "sim/wall compression factor override (with -spec; 0 = the spec's)")
+		metrics  = flag.String("metrics", "", "serve /metrics, /metrics.json and /healthz on this address")
+		quiet    = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
 	flag.Parse()
 
@@ -46,17 +58,56 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	wl := edload.DefaultWorkload(*seed, *nconn)
-	wl.NumFiles = *files
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metrics, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edload:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logf("edload: metrics on http://%s/metrics", srv.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *spec != "" {
+		s, err := workload.LoadSpec(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edload:", err)
+			os.Exit(1)
+		}
+		st, err := edload.RunSpec(ctx, edload.SpecConfig{
+			Addrs:                 strings.Split(*addr, ","),
+			Spec:                  s,
+			Compress:              *compress,
+			MaxConcurrent:         *nconn,
+			MaxMessagesPerSession: *maxMsgs,
+			Metrics:               reg,
+			Logf:                  logf,
+		})
+		fmt.Printf("spec %q: %v simulated at %gx — %d sessions (%d skipped, %d spec-suppressed), %d releases, %d sent, %d answered (%d failovers) in %v, max lag %v\n",
+			s.Name, st.SimSpan, st.Factor, st.Sessions, st.Skipped, st.SuppressedBySpec,
+			st.Releases, st.Sent, st.Answers, st.Failovers,
+			st.Wall.Round(time.Millisecond), st.MaxBehind.Round(time.Millisecond))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	wl := edload.DefaultWorkload(*seed, *nconn)
+	wl.NumFiles = *files
 	st, err := edload.Run(ctx, edload.Config{
 		Addrs:                strings.Split(*addr, ","),
 		Clients:              *nconn,
 		Workload:             wl,
 		Traffic:              clients.DefaultTraffic(),
 		MaxMessagesPerClient: *maxMsgs,
+		Metrics:              reg,
 		Logf:                 logf,
 	})
 	fmt.Printf("%d clients: %d sent, %d answered (%d offers, %d searches, %d asks, %d sources found, %d failovers) in %v — %.0f msgs/s round-trip\n",

@@ -9,6 +9,15 @@
 // Usage:
 //
 //	edsim -weeks 1 -clients 15000 -files 80000 -out /tmp/ds -figures
+//	edsim -spec examples/specs/tenweeks.json -out /tmp/ds
+//
+// With -spec, the capture's world (seed, catalog, population) and its
+// virtual duration come from a workload spec (docs/workload-spec.md)
+// instead of the individual flags, so the simulated capture and a live
+// `edload -spec` replay describe the same experiment. The virtual
+// capture needs no -compress: its clock is already simulated, so ten
+// spec weeks cost only CPU. Spec-driven arrival shaping (phases,
+// diurnal curves, flash crowds) applies to the live replay path.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"edtrace"
 	"edtrace/internal/core"
 	"edtrace/internal/simtime"
+	"edtrace/internal/workload"
 )
 
 func main() {
@@ -29,6 +39,7 @@ func main() {
 		clientsN = flag.Int("clients", 8000, "number of clients")
 		filesN   = flag.Int("files", 50000, "genuine catalog size")
 		seed     = flag.Uint64("seed", 1, "world seed")
+		specFile = flag.String("spec", "", "workload spec JSON: take world + duration from it (overrides -weeks/-clients/-files/-seed)")
 		out      = flag.String("out", "", "dataset output directory (empty = no dataset)")
 		gz       = flag.Bool("gz", false, "gzip dataset chunks")
 		figures  = flag.Bool("figures", true, "compute and print the figures")
@@ -44,6 +55,34 @@ func main() {
 	sim.Workload.NumClients = *clientsN
 	sim.Workload.NumFiles = *filesN
 	sim.Traffic.Duration = simtime.Time(float64(simtime.Week) * *weeks)
+	if *specFile != "" {
+		s, err := workload.LoadSpec(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edsim:", err)
+			os.Exit(1)
+		}
+		sim.Workload.Seed = s.Seed
+		if w := s.World; w != nil {
+			if w.Clients > 0 {
+				sim.Workload.NumClients = w.Clients
+			}
+			if w.Files > 0 {
+				sim.Workload.NumFiles = w.Files
+			}
+			if w.VocabWords > 0 {
+				sim.Workload.VocabWords = w.VocabWords
+			}
+			if f := w.PolluterFraction; f != nil {
+				sim.Workload.PolluterFraction = *f
+			}
+			if w.ForgedPerPolluter > 0 {
+				sim.Workload.ForgedPerPolluter = w.ForgedPerPolluter
+			}
+		}
+		sim.Traffic.Duration = s.Total()
+		fmt.Printf("spec %q: %v of virtual capture, %d clients, %d files\n",
+			s.Name, sim.Traffic.Duration, sim.Workload.NumClients, sim.Workload.NumFiles)
+	}
 	sim.KernelBufferBytes = *bufKB << 10
 	sim.ServicePerPoll = *service / 20 // polled every 50 ms
 

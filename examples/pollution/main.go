@@ -1,9 +1,13 @@
 // Pollution detection: §2.4 of the paper discovers forged fileIDs by
 // accident — anonymisation buckets indexed by the first two fileID bytes
 // blow up because pollution tools stamp fixed prefixes. This example
-// reproduces that discovery: it builds a catalog with polluters, feeds
-// every fileID through both bucket layouts, prints the skew, and then
-// uses the skew to *detect* the forged prefixes.
+// reproduces that discovery from a declarative workload spec: the
+// polluter burst is a content-release event with forged variants
+// (docs/workload-spec.md), not a hand-rolled loop — the adversarial
+// case is just another spec. The engine materialises the release, its
+// flash crowd concentrates demand on the released files, and the forged
+// variants' fixed prefixes light up the anonymisation buckets exactly
+// as the paper saw.
 package main
 
 import (
@@ -11,20 +15,79 @@ import (
 	"log"
 
 	"edtrace/internal/anonymize"
+	"edtrace/internal/simtime"
 	"edtrace/internal/workload"
 )
 
+// polluterSpec is the adversarial workload: zero background pollution —
+// every forged fileID comes from the release event's forged variants,
+// a pollution campaign riding a fresh hit.
+func polluterSpec() *workload.Spec {
+	noBackground := 0.0
+	return &workload.Spec{
+		Name: "pollution-burst",
+		Seed: 12,
+		World: &workload.WorldSpec{
+			Files:            60000,
+			Clients:          6000,
+			PolluterFraction: &noBackground,
+		},
+		Arrivals: workload.ArrivalSpec{Process: "poisson"},
+		Phases: []workload.PhaseSpec{
+			{Name: "background", Duration: workload.Duration(2 * simtime.Day), Rate: 1},
+		},
+		Churn: workload.ChurnSpec{
+			SessionDuration: workload.DistSpec{
+				Dist: "lognormal", Mean: workload.Duration(45 * simtime.Minute),
+			},
+		},
+		Releases: []workload.ReleaseSpec{{
+			At:             workload.Duration(12 * simtime.Hour),
+			Name:           "polluted-hit",
+			Files:          40,
+			ForgedVariants: 7200, // the campaign: 180 forged copies per release file
+			CrowdBoost:     4,
+			CrowdDuration:  workload.Duration(8 * simtime.Hour),
+		}},
+	}
+}
+
 func main() {
-	cfg := workload.DefaultConfig()
-	cfg.NumFiles = 60000
-	cfg.NumClients = 6000 // polluter count scales with the population
-	cat, err := workload.Generate(cfg)
+	eng, err := workload.NewEngine(polluterSpec())
 	if err != nil {
 		log.Fatal(err)
 	}
-	forged := len(cat.Files) - cat.GenuineCount
-	fmt.Printf("catalog: %d genuine + %d forged fileIDs (%.2f%% pollution)\n\n",
-		cat.GenuineCount, forged, 100*float64(forged)/float64(len(cat.Files)))
+	cat := eng.Catalog()
+	forged := 0
+	for i := range cat.Files {
+		if cat.Files[i].Forged {
+			forged++
+		}
+	}
+	rel := eng.Releases()[0]
+	fmt.Printf("spec-driven catalog: %d genuine + %d forged fileIDs (%.2f%% pollution),\n",
+		len(cat.Files)-forged, forged, 100*float64(forged)/float64(len(cat.Files)))
+	fmt.Printf("all forged IDs injected by release %q (%d files, %d forged variants)\n\n",
+		rel.Spec.Name, len(rel.Genuine), len(rel.Forged))
+
+	// The flash crowd is the delivery mechanism: count sessions that the
+	// engine steers at the released (and polluted) files.
+	crowd := 0
+	total := 0
+	for {
+		ev, ok := eng.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == workload.EvSessionStart {
+			total++
+			if ev.Release == 0 {
+				crowd++
+			}
+		}
+	}
+	fmt.Printf("event stream: %d sessions, %d inside the flash crowd asking for the release\n\n",
+		total, crowd)
 
 	firstTwo := anonymize.NewFileBuckets(0, 1)
 	chosen := anonymize.NewFileBuckets(5, 11)

@@ -103,6 +103,45 @@ func (p *Planner) Messages(c *workload.Client, r *randx.Rand, maxMsgs int) []ed2
 	return out
 }
 
+// SessionMessages builds the message plan for one churn-engine session.
+// It is Messages plus flash-crowd steering: when crowd is non-empty —
+// the fileIDs of a fresh content release — the session asks for a
+// sample of them right after announcing its shares, before settling
+// into its normal mix. That ordering is the paper's flash-crowd
+// signature: demand for a release outruns its supply because crowd
+// sessions front-load their asks on it.
+func (p *Planner) SessionMessages(c *workload.Client, r *randx.Rand, maxMsgs int, crowd []ed2k.FileID) []ed2k.Message {
+	if len(crowd) == 0 {
+		return p.Messages(c, r, maxMsgs)
+	}
+	k := 1 + r.IntN(p.tc.AsksPerMessage)
+	if k > len(crowd) {
+		k = len(crowd)
+	}
+	ask := &ed2k.GetSources{}
+	for _, i := range r.Perm(len(crowd))[:k] {
+		ask.Hashes = append(ask.Hashes, crowd[i])
+	}
+	budget := maxMsgs
+	if budget > 0 {
+		budget--
+	}
+	rest := p.Messages(c, r, budget)
+	// Insert after the announcement prefix (session start comes first).
+	i := 0
+	for i < len(rest) {
+		if _, ok := rest[i].(*ed2k.OfferFiles); !ok {
+			break
+		}
+		i++
+	}
+	out := make([]ed2k.Message, 0, len(rest)+1)
+	out = append(out, rest[:i]...)
+	out = append(out, ask)
+	out = append(out, rest[i:]...)
+	return out
+}
+
 // edID is the ed2k-level clientID: the IP for reachable clients, a
 // server-assigned number below 2^24 otherwise.
 func edID(c *workload.Client) ed2k.ClientID {

@@ -1,0 +1,349 @@
+package edload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edtrace/internal/clients"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/obs"
+	"edtrace/internal/randx"
+	"edtrace/internal/simtime"
+	"edtrace/internal/workload"
+)
+
+// SpecConfig parameterises a spec-driven replay: the workload engine's
+// event stream, compressed onto the wall clock, drives real TCP client
+// sessions against live servers.
+type SpecConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Addrs, when set, wins over Addr (priority-ordered server list with
+	// per-session failover, as in Config).
+	Addrs []string
+	// FailoverAttempts bounds reconnects per session (<= 0: 2×servers+1).
+	FailoverAttempts int
+	// AnswerTimeout bounds each answer read (default 15s).
+	AnswerTimeout time.Duration
+
+	// Spec is the workload description the engine expands.
+	Spec *workload.Spec
+	// Compress overrides the spec's compression factor when > 0.
+	Compress float64
+	// MaxConcurrent caps live TCP sessions (default 64). Arrivals past
+	// the cap are skipped and counted, never queued: a replay that can't
+	// keep up must say so instead of silently stretching the timeline.
+	MaxConcurrent int
+	// MessagesPerSessionHour scales plan length with the session's
+	// simulated lifetime: a session open for one simulated hour sends
+	// about this many messages (default 48, minimum 4 per session),
+	// capped by MaxMessagesPerSession.
+	MessagesPerSessionHour int
+	// MaxMessagesPerSession bounds any one session's plan (<= 0: 256).
+	MaxMessagesPerSession int
+
+	// Traffic shapes the per-session message mix; zero value means
+	// clients.DefaultTraffic().
+	Traffic clients.TrafficConfig
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+	// Metrics, when set, exposes the replay's gauges and per-phase
+	// counters (edload_spec_*) alongside the answer-latency histograms.
+	Metrics *obs.Registry
+	// Logf, when set, receives lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// SpecStats aggregates a completed spec replay.
+type SpecStats struct {
+	Stats
+	// Sessions is the number of TCP sessions run to completion.
+	Sessions uint64
+	// Skipped counts arrivals dropped at the MaxConcurrent cap.
+	Skipped uint64
+	// SuppressedBySpec counts arrivals the engine suppressed at the
+	// spec's churn.max_active bound.
+	SuppressedBySpec uint64
+	// Releases is the number of content-release events fired.
+	Releases int
+	// SimSpan is the simulated time replayed.
+	SimSpan simtime.Time
+	// Factor is the effective compression factor.
+	Factor float64
+	// MaxBehind is the worst observed scheduling lag: how far dispatch
+	// ran behind the compressed clock.
+	MaxBehind time.Duration
+}
+
+// specMetrics is the engine-side instrumentation; nil disables it.
+type specMetrics struct {
+	reg       *obs.Registry
+	active    *obs.Gauge
+	rateMilli *obs.Gauge
+	behindMS  *obs.Gauge
+	releases  *obs.Counter
+	skipped   *obs.Counter
+
+	mu       sync.Mutex
+	sessions map[string]*obs.Counter // per-phase session counters
+}
+
+func newSpecMetrics(reg *obs.Registry) *specMetrics {
+	return &specMetrics{
+		reg:       reg,
+		active:    reg.Gauge("edload_spec_active_sessions", "live TCP sessions driven by the workload engine"),
+		rateMilli: reg.Gauge("edload_spec_arrival_rate_milli", "engine arrival rate at the last dispatch, in sessions per simulated minute x1000"),
+		behindMS:  reg.Gauge("edload_spec_behind_ms", "wall-clock lag behind the compressed schedule at the last dispatch"),
+		releases:  reg.Counter("edload_spec_releases_total", "content-release events fired"),
+		skipped:   reg.Counter("edload_spec_skipped_total", "arrivals dropped at the max-concurrent cap"),
+	}
+}
+
+func (m *specMetrics) sessionCounter(phase string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sessions == nil {
+		m.sessions = make(map[string]*obs.Counter)
+	}
+	c, ok := m.sessions[phase]
+	if !ok {
+		c = m.reg.Counter("edload_spec_sessions_total",
+			"sessions completed per schedule phase", obs.L("phase", phase))
+		m.sessions[phase] = c
+	}
+	return c
+}
+
+// RunSpec replays the spec's event stream against the configured
+// servers: every EvSessionStart is paced by the compressed clock and
+// becomes one real TCP session (login → offers → crowd-steered asks →
+// searches → fence), every EvRelease makes its files visible to flash
+// crowds. The stream itself is independent of the compression factor —
+// only the pacing changes — so runs at different factors drive the same
+// sessions in the same order.
+//
+// Like Run, the first failed session aborts the swarm; the returned
+// stats count what happened up to that point.
+func RunSpec(ctx context.Context, cfg SpecConfig) (SpecStats, error) {
+	var st SpecStats
+	if cfg.Spec == nil {
+		return st, fmt.Errorf("edload: RunSpec requires a spec")
+	}
+	if len(cfg.Addrs) == 0 {
+		cfg.Addrs = []string{cfg.Addr}
+	}
+	if cfg.FailoverAttempts <= 0 {
+		cfg.FailoverAttempts = 2*len(cfg.Addrs) + 1
+	}
+	if cfg.AnswerTimeout <= 0 {
+		cfg.AnswerTimeout = 15 * time.Second
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 64
+	}
+	if cfg.MessagesPerSessionHour <= 0 {
+		cfg.MessagesPerSessionHour = 48
+	}
+	if cfg.MaxMessagesPerSession <= 0 {
+		cfg.MaxMessagesPerSession = 256
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Traffic.OfferBatch == 0 {
+		cfg.Traffic = clients.DefaultTraffic()
+	}
+	if err := cfg.Traffic.Validate(); err != nil {
+		return st, err
+	}
+	eng, err := workload.NewEngine(cfg.Spec)
+	if err != nil {
+		return st, err
+	}
+	factor := cfg.Compress
+	if factor <= 0 {
+		factor = cfg.Spec.Compress
+	}
+	comp := simtime.NewCompressor(factor)
+	planner := clients.NewPlanner(eng.Catalog(), cfg.Traffic)
+	mgr, err := clients.NewServerManager(cfg.Addrs...)
+	if err != nil {
+		return st, err
+	}
+	var met *specMetrics
+	var lat *latHists
+	if cfg.Metrics != nil {
+		met = newSpecMetrics(cfg.Metrics)
+		lat = newLatHists(cfg.Metrics)
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("edload: spec %q: %v simulated at %v against %v",
+			cfg.Spec.Name, eng.Total(), comp, cfg.Addrs)
+	}
+
+	// The session Config the lockstep machinery runs under.
+	runCfg := Config{
+		Addrs:            cfg.Addrs,
+		FailoverAttempts: cfg.FailoverAttempts,
+		AnswerTimeout:    cfg.AnswerTimeout,
+		DialTimeout:      cfg.DialTimeout,
+		Logf:             cfg.Logf,
+	}
+
+	var (
+		sent, answers, offers, search, asks, found, failovers atomic.Uint64
+		sessions                                              atomic.Uint64
+	)
+	pop := eng.Population()
+	root := randx.New(cfg.Spec.Seed, 0xED10AD5BEC)
+
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, cfg.MaxConcurrent)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+
+	// crowdIDs[i] is release i's fileID list, populated when the release
+	// fires. Only the dispatcher writes it, and only goroutines spawned
+	// afterwards read it (slices are immutable once set).
+	crowdIDs := make([][]ed2k.FileID, len(eng.Releases()))
+
+	dispatch := func(ev workload.Event) bool {
+		if err := comp.Wait(runCtx, ev.At); err != nil {
+			return false
+		}
+		if b := comp.Behind(ev.At); b > st.MaxBehind {
+			st.MaxBehind = b
+		}
+		if met != nil {
+			met.rateMilli.Set(int64(eng.RateAt(ev.At) * 1000))
+			met.behindMS.Set(comp.Behind(ev.At).Milliseconds())
+		}
+		switch ev.Kind {
+		case workload.EvRelease:
+			rel := &eng.Releases()[ev.Release]
+			crowdIDs[ev.Release] = rel.IDs(eng.Catalog())
+			st.Releases++
+			if met != nil {
+				met.releases.Inc()
+			}
+			if cfg.Logf != nil {
+				cfg.Logf("edload: release %q at %v: %d files (+%d forged), crowd x%v for %v",
+					rel.Spec.Name, ev.At, len(rel.Genuine), len(rel.Forged),
+					rel.Spec.CrowdBoost, rel.Spec.CrowdDuration)
+			}
+		case workload.EvSessionEnd:
+			// Session length was already encoded in the plan size at
+			// start; nothing to tear down here.
+		case workload.EvSessionStart:
+			select {
+			case sem <- struct{}{}:
+			default:
+				st.Skipped++
+				if met != nil {
+					met.skipped.Inc()
+				}
+				return true
+			}
+			var crowd []ed2k.FileID
+			if ev.Release >= 0 {
+				crowd = crowdIDs[ev.Release]
+			}
+			r := root.Split(ev.Session)
+			c := &pop.Clients[ev.Client]
+			maxMsgs := int(float64(cfg.MessagesPerSessionHour) * float64(ev.Dur) / float64(simtime.Hour))
+			if maxMsgs < 4 {
+				maxMsgs = 4
+			}
+			if maxMsgs > cfg.MaxMessagesPerSession {
+				maxMsgs = cfg.MaxMessagesPerSession
+			}
+			plan := planner.SessionMessages(c, r, maxMsgs, crowd)
+			phase := ev.Phase
+			if met != nil {
+				met.active.Inc()
+			}
+			wg.Add(1)
+			go func(sid uint64) {
+				defer wg.Done()
+				defer func() {
+					<-sem
+					if met != nil {
+						met.active.Dec()
+					}
+				}()
+				s := &session{
+					cfg:       &runCfg,
+					mgr:       mgr,
+					lat:       lat,
+					sent:      &sent,
+					answers:   &answers,
+					offers:    &offers,
+					search:    &search,
+					asks:      &asks,
+					found:     &found,
+					failovers: &failovers,
+				}
+				if err := s.run(runCtx, plan); err != nil {
+					select {
+					case errc <- fmt.Errorf("edload: session %d: %w", sid, err):
+					default:
+					}
+					cancel()
+					return
+				}
+				sessions.Add(1)
+				if c := met.sessionCounter(phase); c != nil {
+					c.Inc()
+				}
+			}(ev.Session)
+		}
+		return true
+	}
+
+	for {
+		ev, ok := eng.Next()
+		if !ok {
+			break
+		}
+		if !dispatch(ev) {
+			break
+		}
+	}
+	wg.Wait()
+
+	st.Clients = int(sessions.Load())
+	st.Sent = sent.Load()
+	st.Answers = answers.Load()
+	st.Offers = offers.Load()
+	st.Searches = search.Load()
+	st.Asks = asks.Load()
+	st.Found = found.Load()
+	st.Failovers = failovers.Load()
+	st.Wall = time.Since(start)
+	st.Sessions = sessions.Load()
+	st.SuppressedBySpec = eng.Suppressed()
+	st.SimSpan = eng.Total()
+	st.Factor = comp.Factor()
+
+	select {
+	case err := <-errc:
+		return st, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("edload: spec done: %d sessions (%d skipped, %d spec-suppressed), %d sent, %d answered in %v",
+			st.Sessions, st.Skipped, st.SuppressedBySpec, st.Sent, st.Answers, st.Wall.Round(time.Millisecond))
+	}
+	return st, nil
+}

@@ -1,0 +1,147 @@
+package edload
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"edtrace/internal/obs"
+	"edtrace/internal/simtime"
+	"edtrace/internal/workload"
+)
+
+// smokeSpec is ~one simulated day (two phases, a diurnal curve, churn
+// and one flash crowd) sized to replay in a few wall-clock seconds —
+// the compressed-replay smoke CI runs on every push.
+func smokeSpec() *workload.Spec {
+	return &workload.Spec{
+		Name:     "ci-smoke",
+		Seed:     21,
+		Compress: 28800, // one simulated day in three wall seconds
+		World:    &workload.WorldSpec{Files: 400, Clients: 80, VocabWords: 150},
+		Arrivals: workload.ArrivalSpec{Process: "poisson"},
+		Phases: []workload.PhaseSpec{
+			{Name: "night", Duration: workload.Duration(8 * simtime.Hour), Rate: 0.12},
+			{Name: "day", Duration: workload.Duration(16 * simtime.Hour), Rate: 0.25},
+		},
+		Diurnal: &workload.DiurnalSpec{Amplitude: 0.4, PeakHour: 20},
+		Churn: workload.ChurnSpec{
+			SessionDuration: workload.DistSpec{
+				Dist: "lognormal", Mean: workload.Duration(40 * simtime.Minute), Sigma: 0.7,
+			},
+			MaxActive: 48,
+		},
+		Releases: []workload.ReleaseSpec{
+			{At: workload.Duration(12 * simtime.Hour), Name: "smoke-release", Files: 3,
+				ForgedVariants: 3, CrowdBoost: 5, CrowdDuration: workload.Duration(2 * simtime.Hour)},
+		},
+	}
+}
+
+// TestSpecReplaySmoke replays a compressed simulated day against a live
+// daemon and asserts the per-phase counters are visible through the
+// metrics endpoint — the CI smoke for the whole spec → engine →
+// compressor → swarm → obs chain.
+func TestSpecReplaySmoke(t *testing.T) {
+	d := startDaemon(t)
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(obs.Handler(reg, nil))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := RunSpec(ctx, SpecConfig{
+		Addr:    d.TCPAddr().String(),
+		Spec:    smokeSpec(),
+		Metrics: reg,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions == 0 {
+		t.Fatal("no sessions ran")
+	}
+	if st.Releases != 1 {
+		t.Fatalf("releases fired = %d, want 1", st.Releases)
+	}
+	if st.SimSpan != simtime.Day {
+		t.Fatalf("simulated span = %v, want 1 day", st.SimSpan)
+	}
+	if st.Sent == 0 || st.Answers == 0 {
+		t.Fatalf("degenerate replay: %+v", st.Stats)
+	}
+
+	// Per-phase counters through the metrics endpoint, as a scraper
+	// would read them.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, phase := range []string{"night", "day"} {
+		re := regexp.MustCompile(`edload_spec_sessions_total\{phase="` + phase + `"\} (\d+)`)
+		m := re.FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("metrics endpoint lacks sessions counter for phase %q:\n%s", phase, text)
+		}
+		if n, _ := strconv.Atoi(m[1]); n == 0 {
+			t.Fatalf("phase %q counter is zero", phase)
+		}
+	}
+	if !strings.Contains(text, "edload_spec_releases_total 1") {
+		t.Fatal("metrics endpoint lacks the release counter")
+	}
+	// All sessions done: the active gauge must be back to zero.
+	if !strings.Contains(text, "edload_spec_active_sessions 0") {
+		t.Fatal("active-session gauge did not drain to zero")
+	}
+}
+
+// TestSpecReplayPacing: at two different compression factors the same
+// spec drives the same number of sessions (the stream is invariant),
+// but the slower replay takes proportionally longer.
+func TestSpecReplayPacing(t *testing.T) {
+	d := startDaemon(t)
+	spec := smokeSpec()
+	spec.Phases = []workload.PhaseSpec{
+		{Name: "only", Duration: workload.Duration(2 * simtime.Hour), Rate: 0.3},
+	}
+	spec.Releases = nil
+	spec.Churn.MaxActive = 0
+
+	run := func(factor float64) SpecStats {
+		t.Helper()
+		st, err := RunSpec(context.Background(), SpecConfig{
+			Addr:     d.TCPAddr().String(),
+			Spec:     spec,
+			Compress: factor,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	fast := run(14400) // 2h in 0.5s
+	slow := run(3600)  // 2h in 2s
+	if fast.Sessions != slow.Sessions {
+		t.Fatalf("session count depends on compression: %d vs %d", fast.Sessions, slow.Sessions)
+	}
+	if fast.Skipped != slow.Skipped {
+		t.Fatalf("skip count depends on compression: %d vs %d", fast.Skipped, slow.Skipped)
+	}
+	if slow.Wall < fast.Wall {
+		t.Fatalf("slower factor finished faster: %v vs %v", slow.Wall, fast.Wall)
+	}
+}

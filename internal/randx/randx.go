@@ -97,6 +97,53 @@ func (r *Rand) Poisson(lambda float64) int {
 	return n
 }
 
+// Gamma returns a Gamma(shape, scale) variate (mean shape*scale) using
+// the Marsaglia-Tsang squeeze method, with the standard U^(1/shape)
+// boost for shape < 1. Gamma interarrivals with shape k and mean m give
+// a renewal process with coefficient of variation 1/sqrt(k): k > 1 is
+// more regular than Poisson, k < 1 burstier.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Gamma requires positive parameters")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		return r.Gamma(shape+1, scale) * math.Pow(r.src.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.src.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, scale) variate by inversion:
+// scale * (-ln U)^(1/shape). Shape < 1 gives heavy-tailed, bursty
+// interarrivals (the classic P2P session-arrival finding); shape 1 is
+// exponential; shape > 1 concentrates around the scale.
+func (r *Rand) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Weibull requires positive parameters")
+	}
+	u := 1 - r.src.Float64() // in (0,1]
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
 // Geometric returns the number of failures before the first success in
 // Bernoulli(p) trials. It panics if p is not in (0,1].
 func (r *Rand) Geometric(p float64) int {

@@ -134,6 +134,82 @@ func TestGeometricMean(t *testing.T) {
 	}
 }
 
+func TestGammaMeanAndVariance(t *testing.T) {
+	r := New(9, 17)
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {2.5, 0.4}, {9, 3},
+	} {
+		n := 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v,%v) negative: %v", c.shape, c.scale, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / float64(n)
+		wantMean := c.shape * c.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.02 {
+			t.Fatalf("Gamma(%v,%v) mean = %.4f, want %.4f", c.shape, c.scale, mean, wantMean)
+		}
+		variance := sumSq/float64(n) - mean*mean
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(variance-wantVar) > 0.15*wantVar+0.02 {
+			t.Fatalf("Gamma(%v,%v) var = %.4f, want %.4f", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestWeibullMeanAndTail(t *testing.T) {
+	r := New(13, 29)
+	for _, shape := range []float64{0.5, 1, 2} {
+		const scale = 3.0
+		n := 100000
+		var sum float64
+		overScale := 0
+		for i := 0; i < n; i++ {
+			x := r.Weibull(shape, scale)
+			if x < 0 {
+				t.Fatalf("Weibull negative: %v", x)
+			}
+			sum += x
+			if x > scale {
+				overScale++
+			}
+		}
+		mean := sum / float64(n)
+		wantMean := scale * math.Gamma(1+1/shape)
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Fatalf("Weibull(%v,%v) mean = %.4f, want %.4f", shape, scale, mean, wantMean)
+		}
+		// P(X > scale) = 1/e for every shape.
+		got := float64(overScale) / float64(n)
+		if math.Abs(got-1/math.E) > 0.01 {
+			t.Fatalf("Weibull(%v) P(X>scale) = %.4f, want %.4f", shape, got, 1/math.E)
+		}
+	}
+}
+
+func TestGammaWeibullPanicOnBadParams(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"gamma-zero-shape":   func() { New(1, 1).Gamma(0, 1) },
+		"gamma-neg-scale":    func() { New(1, 1).Gamma(1, -1) },
+		"weibull-zero-shape": func() { New(1, 1).Weibull(0, 1) },
+		"weibull-neg-scale":  func() { New(1, 1).Weibull(1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestZipfRankFrequencies(t *testing.T) {
 	r := New(100, 200)
 	z := NewZipf(r, 1.5, 1, 1000)

@@ -7,6 +7,12 @@
 // (links, clients, the server, the capture buffer) schedule callbacks on a
 // Scheduler instead of using real time. Two events at the same virtual
 // instant fire in scheduling order, so runs are fully deterministic.
+//
+// When simulated timelines must drive *real* components — a live server
+// under a spec-driven load replay — Compressor maps virtual instants
+// onto the wall clock at a fixed compression factor, so ten simulated
+// weeks pace out over ten real minutes without changing what happens at
+// any instant.
 package simtime
 
 import (

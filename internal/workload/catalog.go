@@ -352,26 +352,8 @@ func Generate(cfg Config) (*Catalog, error) {
 	top := topIndices(cat.Files[:cfg.NumFiles], 200)
 	for i := 0; i < nForged; i++ {
 		target := &cat.Files[top[rForge.IntN(len(top))]]
-		var id ed2k.FileID
-		rest := rForge.Uint64()
-		binary.LittleEndian.PutUint64(id[8:], rest)
-		// Forged prefix: first two bytes 0x0000 (half) or 0x0100.
-		if rForge.Bool(0.5) {
-			id[0], id[1] = 0x00, 0x00
-		} else {
-			id[0], id[1] = 0x01, 0x00
-		}
-		// Residual structure beyond the prefix: pollution tools draw the
-		// next bytes from small pools, so even "good" byte pairs keep
-		// some skew (Fig 3, right panel).
-		id[2] = byte(rForge.IntN(4))
-		id[3] = byte(rForge.IntN(256))
-		id[4] = byte(rForge.IntN(256))
-		id[5] = byte(16 + rForge.IntN(16))
-		id[6] = byte(rForge.IntN(256))
-		id[7] = byte(rForge.IntN(256))
 		cat.Files = append(cat.Files, File{
-			ID:     id,
+			ID:     forgeFileID(rForge),
 			Name:   target.Name,
 			Size:   target.Size,
 			Type:   target.Type,
@@ -402,7 +384,28 @@ func Generate(cfg Config) (*Catalog, error) {
 	return cat, nil
 }
 
-func (c *Catalog) wordAt(i uint64) string { return c.vocab[int(i)%len(c.vocab)] }
+// forgeFileID builds one polluted fileID: first two bytes 0x0000 (half)
+// or 0x0100, the fixed prefixes of pollution tools. Residual structure
+// beyond the prefix — small pools for the next bytes — keeps some skew
+// even in "good" byte pairs (Fig 3, right panel).
+func forgeFileID(r *randx.Rand) ed2k.FileID {
+	var id ed2k.FileID
+	binary.LittleEndian.PutUint64(id[8:], r.Uint64())
+	if r.Bool(0.5) {
+		id[0], id[1] = 0x00, 0x00
+	} else {
+		id[0], id[1] = 0x01, 0x00
+	}
+	id[2] = byte(r.IntN(4))
+	id[3] = byte(r.IntN(256))
+	id[4] = byte(r.IntN(256))
+	id[5] = byte(16 + r.IntN(16))
+	id[6] = byte(r.IntN(256))
+	id[7] = byte(r.IntN(256))
+	return id
+}
+
+func (c *Catalog) wordAt(i uint64) string { return c.vocab[i%uint64(len(c.vocab))] }
 
 // topIndices returns the indices of the k largest-weight files.
 func topIndices(files []File, k int) []int {

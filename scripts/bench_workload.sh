@@ -1,0 +1,73 @@
+#!/bin/sh
+# bench_workload.sh — measure the workload engine's event-generation
+# throughput and record it to BENCH_workload.json at the repo root.
+#
+# BenchmarkEngineEvents expands a full ten-week spec (Weibull arrivals,
+# ramped phases, diurnal + weekly curves, bounded lognormal churn, two
+# flash crowds) into its complete event stream per iteration, so ns/op
+# is the cost of generating ten simulated weeks and events/op their
+# size. Generation must stay comfortably faster than any replay pacing:
+# at a compression factor of 10080 the dispatcher needs ~400 events/s,
+# and the engine delivers millions.
+#
+# Usage: scripts/bench_workload.sh [benchtime]   (default 5x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+OUT="BENCH_workload.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP.json"' EXIT
+
+echo "running BenchmarkEngineEvents (benchtime=$BENCHTIME, count=3)..." >&2
+go test -run '^$' -bench '^BenchmarkEngineEvents$' -count 3 \
+    -benchtime "$BENCHTIME" ./internal/workload/ | tee -a "$TMP" >&2
+
+# Parse `Benchmark<Name>[-cpu] <iters> <value> <unit> ...` lines into a
+# JSON array; every (value, unit) pair after the iteration count becomes
+# a metric ("ns/op", "events/op", ...).
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (line != "") line = line ", "
+        line = line "\"" $(i + 1) "\": " $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", $1, $2, line
+}
+END { printf "\n" }
+' "$TMP" > "$TMP.json"
+
+# Best (minimum-ns/op) repetition, and its events/op, as the headline.
+NS_OP="$(awk '
+/^BenchmarkEngineEvents/ {
+    for (i = 3; i + 1 <= NF; i += 2)
+        if ($(i + 1) == "ns/op" && (best == "" || $i + 0 < best + 0)) best = $i
+}
+END { print best }' "$TMP")"
+EVENTS="$(awk '
+/^BenchmarkEngineEvents/ {
+    for (i = 3; i + 1 <= NF; i += 2)
+        if ($(i + 1) == "events/op" && (best == "" || $i + 0 > best + 0)) best = $i
+}
+END { print best }' "$TMP")"
+EVENTS_PER_SEC="$(awk -v ns="$NS_OP" -v ev="$EVENTS" \
+    'BEGIN { printf "%.0f", ev / (ns / 1e9) }')"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "ten_weeks": {"ns_op": %s, "events_op": %s, "events_per_sec": %s},\n' \
+        "$NS_OP" "$EVENTS" "$EVENTS_PER_SEC"
+    printf '  "benchmarks": [\n'
+    cat "$TMP.json"
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
+echo "ten-week stream: $EVENTS events in ${NS_OP} ns ($EVENTS_PER_SEC events/s)" >&2
+echo "wrote $OUT" >&2
