@@ -15,6 +15,13 @@
 //	edload -addr 127.0.0.1:4661 -clients 500
 //	edload -addr 127.0.0.1:4661,127.0.0.1:5661 -clients 2000 -seed 9
 //	edload -addr 127.0.0.1:4661 -spec examples/specs/tenweeks.json -compress 10080
+//	edload -addr 127.0.0.1:4661 -abuse search-storm -abuse-duration 10s
+//
+// With -abuse, the well-behaved swarm is replaced by an adversarial
+// profile (reconnect-storm, search-storm, slowloris, index-spam) — the
+// hostile traffic a policied edserverd (-policy) is built to absorb.
+// An abuse run never fails on refused or reaped connections: those are
+// the measurement.
 //
 // With -spec, the fixed swarm is replaced by the spec-driven workload
 // engine: session arrivals, churn and flash crowds from the JSON spec
@@ -49,6 +56,9 @@ func main() {
 		maxMsgs  = flag.Int("max-msgs", 256, "per-client message cap")
 		spec     = flag.String("spec", "", "workload spec JSON: drive the swarm from the engine's event stream")
 		compress = flag.Float64("compress", 0, "sim/wall compression factor override (with -spec; 0 = the spec's)")
+		abuse    = flag.String("abuse", "", "adversarial profile instead of the swarm: "+strings.Join(edload.AbuseProfiles(), ", "))
+		abuseDur = flag.Duration("abuse-duration", 5*time.Second, "abuse run duration (with -abuse)")
+		abuseN   = flag.Int("abuse-workers", 16, "concurrent attackers (with -abuse)")
 		metrics  = flag.String("metrics", "", "serve /metrics, /metrics.json and /healthz on this address")
 		quiet    = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
@@ -72,6 +82,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *abuse != "" {
+		st, err := edload.RunAbuse(ctx, edload.AbuseConfig{
+			Addr:     strings.Split(*addr, ",")[0],
+			Profile:  *abuse,
+			Workers:  *abuseN,
+			Duration: *abuseDur,
+			Seed:     *seed,
+			Logf:     logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("abuse %s (%d workers): %d attempts (%d accepted, %d refused, %d reaped), %d msgs (%d answered, %d empty, %d errors, %d spam files admitted) in %v\n",
+			st.Profile, st.Workers, st.Attempts, st.Accepted, st.Refused, st.Reaped,
+			st.Sent, st.Answers, st.Empty, st.Errors, st.AcceptedFiles,
+			st.Wall.Round(time.Millisecond))
+		return
+	}
 
 	if *spec != "" {
 		s, err := workload.LoadSpec(*spec)

@@ -13,6 +13,7 @@
 //	edserverd -tcp 127.0.0.1:4661 -udp 127.0.0.1:4665 -shards 64
 //	edserverd -dataset /tmp/self -figures     # capture your own traffic
 //	edserverd -metrics 127.0.0.1:9100         # Prometheus + healthz endpoint
+//	edserverd -policy policy.json             # admission/rate-limit/shed policies
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"edtrace"
 	"edtrace/internal/edserverd"
+	"edtrace/internal/policy"
 	"edtrace/internal/simtime"
 )
 
@@ -44,6 +46,8 @@ func main() {
 		tee     = flag.String("tee", "", "self-capture: mirror traffic into this pcap file")
 		figures = flag.Bool("figures", false, "self-capture: print the paper's figures on shutdown")
 		metrics = flag.String("metrics", "", "serve /metrics, /metrics.json and /healthz on this address")
+		polFile = flag.String("policy", "", "traffic-policy JSON config (docs/policy.md); empty admits everything")
+		idle    = flag.Duration("idle-timeout", 3*time.Minute, "reap TCP connections idle this long (<0 disables)")
 		quiet   = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
 	flag.Parse()
@@ -51,6 +55,14 @@ func main() {
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	var pol *policy.Config
+	if *polFile != "" {
+		var err error
+		if pol, err = policy.LoadConfig(*polFile); err != nil {
+			fmt.Fprintln(os.Stderr, "edserverd:", err)
+			os.Exit(1)
+		}
 	}
 	d, err := edserverd.Start(edserverd.Config{
 		TCPAddr:        *tcp,
@@ -61,6 +73,8 @@ func main() {
 		SourceTTL:      simtime.Time(*ttl),
 		ExpiryInterval: *expire,
 		MetricsAddr:    *metrics,
+		Policy:         pol,
+		IdleTimeout:    *idle,
 		Logf:           logf,
 	})
 	if err != nil {
@@ -111,6 +125,10 @@ func main() {
 		st.Conns, st.TCPMsgs, st.UDPMsgs, st.Answers, st.BadMsgs, d.Uptime().Round(time.Second))
 	fmt.Printf("index: %d files, %d sources, %d users\n",
 		st.Server.IndexedFiles, st.Server.IndexedSources, st.Server.Users)
+	if p := d.Policy(); p != nil {
+		adm, thr, shed := p.Totals()
+		fmt.Printf("policy: %d admitted, %d throttled, %d shed\n", adm, thr, shed)
+	}
 
 	if capturing {
 		var r sessionResult

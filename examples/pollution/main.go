@@ -8,13 +8,28 @@
 // flash crowd concentrates demand on the released files, and the forged
 // variants' fixed prefixes light up the anonymisation buckets exactly
 // as the paper saw.
+//
+// With -live, the campaign becomes a real index-spam flood against two
+// in-process edserverd daemons — one defenceless, one running an offer
+// throttle (docs/policy.md). The same edload abuse profile spams both;
+// a capture tap feeds every offered fileID through the anonymisation
+// buckets, which light up on the spam tool's fixed prefix, and the
+// daemons' index counts show what the policy kept out.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"edtrace/internal/anonymize"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/edload"
+	"edtrace/internal/edserverd"
+	"edtrace/internal/policy"
 	"edtrace/internal/simtime"
 	"edtrace/internal/workload"
 )
@@ -52,7 +67,116 @@ func polluterSpec() *workload.Spec {
 	}
 }
 
+// offerThrottle is the anti-spam policy for the live flood: one offer
+// per second per session, small burst — a genuine client announcing its
+// share is untouched, a spam tool re-announcing forged batches at wire
+// speed is capped at its bucket.
+func offerThrottle() *policy.Config {
+	return &policy.Config{
+		Messages: &policy.MessageSpec{
+			OffersPerSec: 1, OfferBurst: 4,
+			ThrottleDelay: policy.Duration(50 * time.Millisecond),
+		},
+	}
+}
+
+// spamTap feeds every fileID offered to a daemon through the paper's
+// two anonymisation bucket layouts — the capture-side view in which the
+// campaign is visible.
+type spamTap struct {
+	mu       sync.Mutex
+	firstTwo *anonymize.FileBuckets
+	chosen   *anonymize.FileBuckets
+	offered  int
+}
+
+func (t *spamTap) tap(_, _ uint32, payload []byte) {
+	msg, err := ed2k.Decode(payload)
+	if err != nil {
+		return
+	}
+	offer, ok := msg.(*ed2k.OfferFiles)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	for i := range offer.Files {
+		t.firstTwo.Anonymize(offer.Files[i].ID)
+		t.chosen.Anonymize(offer.Files[i].ID)
+		t.offered++
+	}
+	t.mu.Unlock()
+}
+
+// runLive floods one daemon (policied or not) with the index-spam abuse
+// profile and reports what landed in the index versus what the capture
+// tap saw offered.
+func runLive(dur time.Duration, pol *policy.Config) {
+	label := "no policy"
+	if pol != nil {
+		label = "offer throttle (1/s, burst 4)"
+	}
+	tap := &spamTap{
+		firstTwo: anonymize.NewFileBuckets(0, 1),
+		chosen:   anonymize.NewFileBuckets(5, 11),
+	}
+	d, err := edserverd.Start(edserverd.Config{
+		UDPAddr: "off",
+		Policy:  pol,
+		Tap:     tap.tap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := edload.RunAbuse(context.Background(), edload.AbuseConfig{
+		Addr:     d.TCPAddr().String(),
+		Profile:  edload.AbuseIndexSpam,
+		Workers:  8,
+		Duration: dur,
+		Seed:     12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, indexed := d.IndexCounts()
+	fmt.Printf("%-30s %d offers sent, %d forged fileIDs offered, %d accepted (%d distinct in the index)\n",
+		label+":", st.Sent, tap.offered, st.AcceptedFiles, indexed)
+	if pol != nil {
+		admitted, throttled, shed := d.Policy().Totals()
+		fmt.Printf("%-30s policy: %d admitted, %d throttled, %d shed\n", "", admitted, throttled, shed)
+	}
+
+	// The capture-side discovery, identical to the spec-driven mode: the
+	// spam tool's fixed prefix blows up one first-two-bytes bucket.
+	idx, maxSize := tap.firstTwo.MaxBucket()
+	_, chosenMax := tap.chosen.MaxBucket()
+	fmt.Printf("%-30s max bucket first-two-bytes: %d fileIDs at prefix %02X %02X; bytes (5,11): %d\n\n",
+		"", maxSize, idx>>8, idx&0xFF, chosenMax)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	d.Shutdown(ctx)
+}
+
+func liveMode(dur time.Duration) {
+	fmt.Println("=== live index-spam flood (edload -abuse index-spam) against two daemons ===")
+	runLive(dur, nil)
+	runLive(dur, offerThrottle())
+	fmt.Println("(every spam fileID carries the campaign's fixed prefix BA AD — the")
+	fmt.Println(" first-two-bytes anonymisation bucket lights up exactly like Fig. 3,")
+	fmt.Println(" and the offer throttle bounds how much of it the index ever accepts)")
+}
+
 func main() {
+	live := flag.Bool("live", false, "flood real in-process daemons with the index-spam abuse profile (with and without an offer-throttle policy)")
+	liveDur := flag.Duration("live-duration", 2*time.Second, "duration of each live flood (with -live)")
+	flag.Parse()
+
+	if *live {
+		liveMode(*liveDur)
+		return
+	}
+
 	eng, err := workload.NewEngine(polluterSpec())
 	if err != nil {
 		log.Fatal(err)

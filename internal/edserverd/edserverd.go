@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 
 	"edtrace/internal/ed2k"
 	"edtrace/internal/obs"
+	"edtrace/internal/policy"
 	"edtrace/internal/server"
 	"edtrace/internal/simtime"
 )
@@ -85,6 +87,28 @@ type Config struct {
 	// KnownServers is returned to GetServerList queries.
 	KnownServers []ed2k.ServerAddr
 
+	// Policy, when set, is the traffic-policy configuration the daemon
+	// enforces at its choke points (see internal/policy and
+	// docs/policy.md). Nil means every connection and message is
+	// admitted, as before.
+	Policy *policy.Config
+
+	// IdleTimeout reaps a logged-in TCP connection that sends nothing
+	// for this long — the slowloris defence (default 3 minutes; <0
+	// disables, restoring the historical block-forever behaviour).
+	IdleTimeout time.Duration
+
+	// PreLoginTimeout is the stricter deadline before the login
+	// handshake completes: a connection that never logs in is cheap to
+	// open and worth reaping fast (default 30s; <0 disables).
+	PreLoginTimeout time.Duration
+
+	// UDPForwardConcurrency bounds the goroutines forwarding resolvable
+	// UDP queries to mesh peers (default 128; <0 restores the unbounded
+	// historical behaviour). At the bound, further queries are answered
+	// from the local index only and counted as forward drops.
+	UDPForwardConcurrency int
+
 	// Tap, when set, mirrors every decoded query and answer.
 	Tap TapFunc
 
@@ -121,6 +145,14 @@ type Stats struct {
 	// BadMsgs counts undecodable inputs (TCP framing kills the
 	// connection; UDP datagrams are dropped individually).
 	BadMsgs uint64
+	// ConnErrors counts TCP transport failures (resets, write errors) —
+	// the network misbehaving, distinct from BadMsgs' protocol garbage.
+	ConnErrors uint64
+	// IdleReaped counts TCP connections closed by the idle deadline.
+	IdleReaped uint64
+	// UDPForwardDropped counts resolvable UDP queries answered locally
+	// because the forward-goroutine bound was saturated.
+	UDPForwardDropped uint64
 	// Server is the aggregated index/opcode view.
 	Server server.Stats
 }
@@ -147,11 +179,18 @@ type Daemon struct {
 	reg  *obs.Registry
 	msrv *obs.Server
 
+	// pol is the traffic-policy engine (nil when no policy configured);
+	// udpSem bounds the mesh-forward goroutines spawned by udpLoop.
+	pol    *policy.Engine
+	udpSem chan struct{}
+
 	// Connection-lifecycle and traffic counters. These ARE the metrics
 	// — Stats() reads the same obs series /metrics exposes, so the two
 	// views can never disagree.
 	nConns, nLogins, nTCP, nUDP, nAns, nBad, nPeer *obs.Counter
+	nConnErr, nIdle, nUDPDrop                      *obs.Counter
 	active, inflight                               *obs.Gauge
+	hHandle                                        *obs.Histogram
 
 	closeOnce sync.Once
 }
@@ -166,8 +205,13 @@ func (d *Daemon) registerMetrics(reg *obs.Registry) {
 	d.nAns = reg.Counter("edserverd_answers_total", "answers sent (TCP and UDP)")
 	d.nBad = reg.Counter("edserverd_bad_messages_total", "undecodable inputs")
 	d.nPeer = reg.Counter("edserverd_peer_messages_total", "UDP messages consumed by the peer handler")
+	d.nConnErr = reg.Counter("edserverd_conn_errors_total", "TCP transport failures (resets, timeouts on write, broken pipes)")
+	d.nIdle = reg.Counter("edserverd_idle_reaped_total", "TCP connections closed by the idle deadline")
+	d.nUDPDrop = reg.Counter("edserverd_udp_forward_dropped_total", "resolvable UDP queries answered locally because the forward bound was saturated")
 	d.active = reg.Gauge("edserverd_connections_active", "TCP connections open now")
 	d.inflight = reg.Gauge("edserverd_inflight_requests", "client queries being handled right now")
+	d.hHandle = reg.Histogram("edserverd_handle_seconds",
+		"full server-side handling span per client query (index + resolver)", nil)
 	reg.GaugeFunc("edserverd_uptime_seconds", "time since the daemon started serving",
 		func() float64 { return time.Since(d.start).Seconds() })
 }
@@ -190,6 +234,15 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.ExpiryInterval == 0 {
 		cfg.ExpiryInterval = 5 * time.Minute
 	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 3 * time.Minute
+	}
+	if cfg.PreLoginTimeout == 0 {
+		cfg.PreLoginTimeout = 30 * time.Second
+	}
+	if cfg.UDPForwardConcurrency == 0 {
+		cfg.UDPForwardConcurrency = 128
+	}
 	if cfg.TCPAddr == "off" && cfg.UDPAddr == "off" {
 		return nil, errors.New("edserverd: both TCP and UDP disabled")
 	}
@@ -206,6 +259,16 @@ func Start(cfg Config) (*Daemon, error) {
 		reg:   reg,
 	}
 	d.registerMetrics(reg)
+	if cfg.Policy != nil {
+		eng, err := policy.New(*cfg.Policy, reg)
+		if err != nil {
+			return nil, err
+		}
+		d.pol = eng
+	}
+	if cfg.UDPForwardConcurrency > 0 {
+		d.udpSem = make(chan struct{}, cfg.UDPForwardConcurrency)
+	}
 	if cfg.SourceTTL > 0 {
 		d.srv.SourceTTL = cfg.SourceTTL
 	}
@@ -257,6 +320,13 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.ExpiryInterval > 0 {
 		d.wg.Add(1)
 		go d.expiryLoop()
+	}
+	if d.pol != nil {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.pol.RunDetector(d.ctx, d.inflight.Value, d.hHandle.Snapshot)
+		}()
 	}
 	if cfg.MetricsAddr != "" {
 		msrv, err := obs.Serve(cfg.MetricsAddr, reg, d.Health)
@@ -332,6 +402,19 @@ func (d *Daemon) ServerKey() uint32 {
 	return AddrKey(a.IP, a.Port)
 }
 
+// IPKey folds an endpoint IP to the policy layer's per-host key: the
+// big-endian IPv4 value. Unlike AddrKey, the port does not participate
+// — every connection from one host (or one loopback swarm) shares one
+// admission bucket, which is what makes per-IP limiting meaningful
+// (and testable on loopback, where all clients are 127.0.0.1).
+func IPKey(ip net.IP) uint32 {
+	ip4 := ip.To4()
+	if ip4 == nil || ip4.IsUnspecified() {
+		return 0x7F000001
+	}
+	return binary.BigEndian.Uint32(ip4)
+}
+
 // AddrKey derives the uint32 dialog key for an endpoint. Real IPv4
 // addresses map to their numeric value; loopback and wildcard addresses
 // (every peer shares 127.0.0.1 in a local swarm) are disambiguated by
@@ -355,17 +438,24 @@ func (d *Daemon) Uptime() time.Duration { return time.Since(d.start) }
 // Stats snapshots the daemon and index counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
-		Conns:    d.nConns.Value(),
-		Active:   d.active.Value(),
-		Logins:   d.nLogins.Value(),
-		TCPMsgs:  d.nTCP.Value(),
-		UDPMsgs:  d.nUDP.Value(),
-		Answers:  d.nAns.Value(),
-		PeerMsgs: d.nPeer.Value(),
-		BadMsgs:  d.nBad.Value(),
-		Server:   d.srv.Stats(),
+		Conns:             d.nConns.Value(),
+		Active:            d.active.Value(),
+		Logins:            d.nLogins.Value(),
+		TCPMsgs:           d.nTCP.Value(),
+		UDPMsgs:           d.nUDP.Value(),
+		Answers:           d.nAns.Value(),
+		PeerMsgs:          d.nPeer.Value(),
+		BadMsgs:           d.nBad.Value(),
+		ConnErrors:        d.nConnErr.Value(),
+		IdleReaped:        d.nIdle.Value(),
+		UDPForwardDropped: d.nUDPDrop.Value(),
+		Server:            d.srv.Stats(),
 	}
 }
+
+// Policy returns the active traffic-policy engine (nil when the daemon
+// runs without one) — how tests and operators read decision totals.
+func (d *Daemon) Policy() *policy.Engine { return d.pol }
 
 // Shutdown stops accepting, closes every live connection, and waits for
 // the serving loops to drain (bounded by ctx). Idempotent.
@@ -427,6 +517,27 @@ func (d *Daemon) acceptLoop() {
 			continue
 		}
 		d.nConns.Add(1)
+		if d.pol != nil {
+			remote := conn.RemoteAddr().(*net.TCPAddr)
+			if d.pol.AdmitConn(IPKey(remote.IP), d.active.Value()) != policy.Admit {
+				// Rejected at the cheapest possible point: before the
+				// goroutine, the tracking entry and the framing buffers
+				// exist. The socket is tarpitted rather than closed
+				// outright — held silent for the throttle delay on a timer
+				// (no goroutine) — so a lockstep reconnect storm degrades
+				// to workers/delay attempts per second instead of retrying
+				// at wire speed against a cheap refusal.
+				hold := d.pol.ThrottleDelay()
+				if hold > time.Second {
+					// Cap the hold so a generous message throttle_delay
+					// cannot turn the tarpit into an fd-exhaustion vector:
+					// pending refused sockets ≈ refusal rate × hold.
+					hold = time.Second
+				}
+				time.AfterFunc(hold, func() { conn.Close() })
+				continue
+			}
+		}
 		d.active.Add(1)
 		d.track(conn, true)
 		// A connection accepted concurrently with Shutdown can miss its
@@ -466,13 +577,42 @@ func (d *Daemon) serveConn(conn *net.TCPConn) {
 	clientPort := uint16(remote.Port)
 	serverKey := d.ServerKey()
 
+	var pc *policy.Client
+	if d.pol != nil {
+		pc = d.pol.NewConnClient()
+	}
 	sr := ed2k.NewStreamReader(conn)
 	var out []byte
+	loggedIn := false
 	for {
+		// The read deadline is the slowloris defence: a client that goes
+		// quiet is reaped instead of pinning a goroutine, an fd and the
+		// active gauge until shutdown. Pre-login connections get the
+		// stricter deadline — they have invested nothing yet.
+		if !loggedIn && d.cfg.PreLoginTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(d.cfg.PreLoginTimeout))
+		} else if d.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(d.cfg.IdleTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
 		msg, err := sr.Next()
 		if err != nil {
-			if err != io.EOF && d.ctx.Err() == nil {
+			// Classify before counting: protocol garbage (structural or
+			// semantic decode failures) is the client's fault and lands
+			// in bad_messages; idle deadlines are the reaper at work;
+			// everything else (resets, broken pipes) is transport noise
+			// in conn_errors — it must not inflate the bad-input signal.
+			switch {
+			case err == io.EOF || d.ctx.Err() != nil:
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				d.nIdle.Add(1)
+				d.logf("edserverd: %v: idle, reaped", remote)
+			case errors.Is(err, ed2k.ErrStructural) || errors.Is(err, ed2k.ErrSemantic):
 				d.nBad.Add(1)
+				d.logf("edserverd: %v: %v", remote, err)
+			default:
+				d.nConnErr.Add(1)
 				d.logf("edserverd: %v: %v", remote, err)
 			}
 			return
@@ -491,6 +631,7 @@ func (d *Daemon) serveConn(conn *net.TCPConn) {
 			// deployed servers recycling low IDs). Nonzero claims are
 			// taken at face value, as historical servers did.
 			d.nLogins.Add(1)
+			loggedIn = true
 			if m.Port != 0 {
 				clientPort = m.Port
 			}
@@ -502,10 +643,29 @@ func (d *Daemon) serveConn(conn *net.TCPConn) {
 			answers = []ed2k.Message{&ed2k.IDChange{Client: clientID}}
 		default:
 			d.mirror(clientKey, serverKey, msg)
-			d.inflight.Inc()
-			answers = d.srv.Handle(now, clientID, clientPort, msg)
-			answers = d.resolveMisses(msg, answers)
-			d.inflight.Dec()
+			var rejected bool
+			if pc != nil {
+				answers, rejected = d.applyMsgPolicy(pc, clientID, msg)
+			}
+			if rejected {
+				// Backpressure: the cheap rejection answer is delayed so
+				// a flooding lockstep client degrades to 1/delay round
+				// trips per second instead of spinning at wire speed.
+				if delay := d.pol.ThrottleDelay(); delay > 0 {
+					select {
+					case <-time.After(delay):
+					case <-d.ctx.Done():
+						return
+					}
+				}
+			} else {
+				t0 := time.Now()
+				d.inflight.Inc()
+				answers = d.srv.Handle(now, clientID, clientPort, msg)
+				answers = d.resolveMisses(msg, answers)
+				d.inflight.Dec()
+				d.hHandle.Observe(time.Since(t0))
+			}
 		}
 
 		out = out[:0]
@@ -551,30 +711,63 @@ func (d *Daemon) udpLoop() {
 		d.nUDP.Add(1)
 		clientKey := AddrKey(from.IP, from.Port)
 		d.mirror(clientKey, serverKey, msg)
+		if d.pol != nil {
+			// UDP message policy is budgeted per source host. There is no
+			// session to backpressure, so a throttled or shed query is
+			// simply dropped — for a connectionless flood, silence is the
+			// cheapest possible answer.
+			c := d.pol.UDPClient(IPKey(from.IP))
+			if _, rejected := d.applyMsgPolicy(c, ed2k.ClientID(clientKey), msg); rejected {
+				continue
+			}
+		}
 		if d.resolver.Load() != nil && resolvable(msg) {
 			// A resolver may block up to its forward timeout waiting on
 			// peers; answering on the read loop would wedge the loop —
 			// including the very MeshForwardRes it is waiting for. Each
 			// resolvable UDP query gets its own goroutine (decoded
 			// messages and the UDP addr do not alias the read buffer).
-			d.wg.Add(1)
-			go func() {
-				defer d.wg.Done()
-				d.answerUDP(msg, from, clientKey, serverKey)
-			}()
+			// The pool is bounded: a UDP search flood must not mint one
+			// goroutine per datagram, each parked on the forward timeout.
+			// At the bound, the query is answered from the local index
+			// only, synchronously, and counted as a forward drop.
+			if d.udpSem != nil {
+				select {
+				case d.udpSem <- struct{}{}:
+					d.wg.Add(1)
+					go func() {
+						defer d.wg.Done()
+						defer func() { <-d.udpSem }()
+						d.answerUDP(msg, from, clientKey, serverKey, true)
+					}()
+				default:
+					d.nUDPDrop.Add(1)
+					d.answerUDP(msg, from, clientKey, serverKey, false)
+				}
+			} else {
+				d.wg.Add(1)
+				go func() {
+					defer d.wg.Done()
+					d.answerUDP(msg, from, clientKey, serverKey, true)
+				}()
+			}
 			continue
 		}
-		d.answerUDP(msg, from, clientKey, serverKey)
+		d.answerUDP(msg, from, clientKey, serverKey, false)
 	}
 }
 
-// answerUDP runs one decoded client datagram through the index (and the
-// resolver, when installed) and writes the answers back.
-func (d *Daemon) answerUDP(msg ed2k.Message, from *net.UDPAddr, clientKey, serverKey uint32) {
+// answerUDP runs one decoded client datagram through the index (and,
+// when forward is set, the resolver) and writes the answers back.
+func (d *Daemon) answerUDP(msg ed2k.Message, from *net.UDPAddr, clientKey, serverKey uint32, forward bool) {
+	t0 := time.Now()
 	d.inflight.Inc()
 	answers := d.srv.Handle(d.now(), ed2k.ClientID(clientKey), uint16(from.Port), msg)
-	answers = d.resolveMisses(msg, answers)
+	if forward {
+		answers = d.resolveMisses(msg, answers)
+	}
 	d.inflight.Dec()
+	d.hHandle.Observe(time.Since(t0))
 	d.nAns.Add(uint64(len(answers)))
 	for _, a := range answers {
 		d.mirror(serverKey, clientKey, a)
@@ -582,6 +775,33 @@ func (d *Daemon) answerUDP(msg ed2k.Message, from *net.UDPAddr, clientKey, serve
 			d.logf("edserverd: udp write: %v", err)
 		}
 	}
+}
+
+// applyMsgPolicy runs one decoded client message through the message
+// choke point. It returns the cheap rejection answers and true when the
+// message was throttled or shed; (nil, false) admits it to the index. A
+// GetSources over its hash budget is truncated in place rather than
+// rejected — the client gets sources for as many hashes as its budget
+// covers, bounding per-client answer amplification.
+func (d *Daemon) applyMsgPolicy(c *policy.Client, id ed2k.ClientID, msg ed2k.Message) ([]ed2k.Message, bool) {
+	lowID := id.IsLowID()
+	switch m := msg.(type) {
+	case *ed2k.SearchReq:
+		if d.pol.AdmitSearch(c, lowID) != policy.Admit {
+			return []ed2k.Message{&ed2k.SearchRes{}}, true
+		}
+	case *ed2k.OfferFiles:
+		if d.pol.AdmitOffer(c, lowID) != policy.Admit {
+			return []ed2k.Message{&ed2k.OfferAck{Accepted: 0}}, true
+		}
+	case *ed2k.GetSources:
+		granted := d.pol.AskBudget(c, len(m.Hashes), lowID)
+		if granted == 0 {
+			return nil, true
+		}
+		m.Hashes = m.Hashes[:granted]
+	}
+	return nil, false
 }
 
 // resolvable reports whether a query's misses can be forwarded to peers.

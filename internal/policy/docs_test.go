@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// extractJSONBlocks returns every ```json fenced code block in md, in
+// document order (same extraction as the workload spec's docs test).
+func extractJSONBlocks(md string) []string {
+	var blocks []string
+	var cur []string
+	in := false
+	for _, ln := range strings.Split(md, "\n") {
+		switch {
+		case !in && strings.TrimSpace(ln) == "```json":
+			in, cur = true, nil
+		case in && strings.TrimSpace(ln) == "```":
+			in = false
+			blocks = append(blocks, strings.Join(cur, "\n"))
+		case in:
+			cur = append(cur, ln)
+		}
+	}
+	return blocks
+}
+
+// TestDocsExamplesExecute runs every JSON example in docs/policy.md
+// verbatim through ParseConfig and engine construction. If the
+// documented format and the shipped code drift apart, this test breaks.
+func TestDocsExamplesExecute(t *testing.T) {
+	md, err := os.ReadFile("../../docs/policy.md")
+	if err != nil {
+		t.Fatalf("read policy doc: %v", err)
+	}
+	blocks := extractJSONBlocks(string(md))
+	if len(blocks) < 2 {
+		t.Fatalf("expected at least 2 ```json examples in docs/policy.md, found %d", len(blocks))
+	}
+	for i, b := range blocks {
+		cfg, err := ParseConfig([]byte(b))
+		if err != nil {
+			t.Fatalf("example %d does not parse: %v\n%s", i+1, err, b)
+		}
+		e, err := New(*cfg, nil)
+		if err != nil {
+			t.Fatalf("example %d rejected by engine: %v", i+1, err)
+		}
+		// The documented configs must actually limit something: drive a
+		// hot loop through every decision point and require at least one
+		// non-admit verdict overall.
+		c := e.NewConnClient()
+		var rejections uint64
+		for j := 0; j < 1000; j++ {
+			if e.AdmitConn(42, int64(j)) != Admit {
+				rejections++
+			}
+			if e.AdmitSearch(c, false) != Admit {
+				rejections++
+			}
+		}
+		if rejections == 0 {
+			t.Errorf("example %d admits a 1000-iteration hot loop entirely — limits nothing", i+1)
+		}
+		t.Logf("example %d: %d of 2000 hot-loop decisions rejected", i+1, rejections)
+	}
+}
+
+// TestShippedPolicyLoads loads the example policy shipped under
+// examples/ through the same path cmd/edserverd uses.
+func TestShippedPolicyLoads(t *testing.T) {
+	cfg, err := LoadConfig("../../examples/policy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Admission == nil || cfg.Messages == nil || cfg.Shed == nil {
+		t.Fatalf("shipped policy should exercise all three sections: %+v", cfg)
+	}
+	if _, err := New(*cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+}

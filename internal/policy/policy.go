@@ -1,0 +1,522 @@
+// Package policy is the daemon's pluggable admission, rate-limit and
+// load-shedding layer — the "production traffic management" the paper's
+// server needed to survive ten weeks of unfiltered eDonkey traffic
+// (reconnect storms, index spam, clients that never hang up; see the
+// pollution campaign in Fig. 3). The daemon consults an Engine at three
+// choke points:
+//
+//   - connection accept: a per-source-IP token bucket plus a global
+//     concurrent-connection cap (AdmitConn);
+//   - per-message handling: search and offer rate throttling with
+//     low-ID deprioritization, and a hash budget bounding GetSources
+//     amplification (AdmitSearch, AdmitOffer, AskBudget);
+//   - saturation: a detector over the daemon's in-flight gauge and
+//     handle-latency histogram that flips load shedding on under
+//     overload and holds it with hysteresis (RunDetector).
+//
+// Policies are composable values loaded from a strict-parse JSON config
+// (config.go, docs/policy.md). Every decision is instrumented:
+// edserverd_policy_{admitted,throttled,shed}_total counters, a
+// per-decision latency histogram, and a shedding gauge.
+package policy
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edtrace/internal/obs"
+)
+
+// Verdict is one policy decision.
+type Verdict uint8
+
+const (
+	// Admit lets the connection or message through unchanged.
+	Admit Verdict = iota
+	// Throttle rejects it for rate reasons: the caller answers cheaply
+	// (empty result, zero-accept ack) after backpressure delay.
+	Throttle
+	// Shed rejects it for load reasons: the daemon is saturated or at
+	// its connection cap and pays as little as possible.
+	Shed
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case Throttle:
+		return "throttle"
+	default:
+		return "shed"
+	}
+}
+
+// bucket is a lazily refilled token bucket. Callers hold the owning
+// lock; the zero value starts full (first take sees a full burst).
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills for the elapsed time and takes n tokens if available.
+// A rate of 0 means the limiter is disabled: always allowed.
+func (b *bucket) take(now time.Time, rate, burst, n float64) bool {
+	return b.takeUpTo(now, rate, burst, n) == n
+}
+
+// takeUpTo refills and takes up to n tokens, returning how many were
+// granted (n when the limiter is disabled).
+func (b *bucket) takeUpTo(now time.Time, rate, burst, n float64) float64 {
+	if rate <= 0 {
+		return n
+	}
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	if burst < 1 {
+		burst = 1 // a sub-token burst (low-ID scaling) must still drip
+	}
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+dt*rate)
+	}
+	b.last = now
+	granted := math.Min(n, math.Floor(b.tokens))
+	if granted < 0 {
+		granted = 0
+	}
+	b.tokens -= granted
+	return granted
+}
+
+// Client holds one client's message-rate state: one bucket per limited
+// query class. TCP sessions each own a fresh Client; UDP clients share
+// one per source IP (returned by UDPClient).
+type Client struct {
+	mu                 sync.Mutex
+	search, offer, ask bucket
+}
+
+// ipState is the per-source-IP record: the admission bucket and the
+// shared UDP message state.
+type ipState struct {
+	adm      bucket
+	udp      Client
+	lastSeen time.Time
+}
+
+// Engine evaluates the configured policies. Safe for concurrent use.
+type Engine struct {
+	cfg Config
+	now func() time.Time // injectable clock for tests
+
+	mu  sync.Mutex
+	ips map[uint32]*ipState
+
+	shedding atomic.Bool
+
+	// Detector state, touched only by the detector goroutine (or a
+	// test driving Saturated directly).
+	prev      obs.HistSnapshot
+	havePrev  bool
+	shedUntil time.Time
+
+	// Instrumentation: admitted/throttled/shed per decision point and
+	// reason, decision latency, and the shedding flag.
+	admConn, admMsg                   *obs.Counter
+	thrConnRate, thrSearch, thrOffer  *obs.Counter
+	thrAskHashes                      *obs.Counter
+	shedConnCap, shedConnSat, shedMsg *obs.Counter
+	decision                          *obs.Histogram
+	shedGauge                         *obs.Gauge
+}
+
+// decisionBuckets covers in-memory policy decisions: 50ns to ~1.6ms.
+func decisionBuckets() []time.Duration {
+	out := make([]time.Duration, 0, 15)
+	for d := 50 * time.Nanosecond; len(out) < 15; d *= 2 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// New validates cfg and returns an Engine registering its metrics into
+// reg (nil means a private registry).
+func New(cfg Config, reg *obs.Registry) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
+		cfg: cfg,
+		now: time.Now,
+		ips: make(map[uint32]*ipState),
+	}
+	const (
+		admName = "edserverd_policy_admitted_total"
+		admHelp = "connections and messages admitted by the policy layer"
+		thrName = "edserverd_policy_throttled_total"
+		thrHelp = "connections, messages and ask hashes throttled for rate"
+		shdName = "edserverd_policy_shed_total"
+		shdHelp = "connections and messages shed for load"
+	)
+	e.admConn = reg.Counter(admName, admHelp, obs.L("point", "accept"))
+	e.admMsg = reg.Counter(admName, admHelp, obs.L("point", "message"))
+	e.thrConnRate = reg.Counter(thrName, thrHelp, obs.L("reason", "conn_rate"))
+	e.thrSearch = reg.Counter(thrName, thrHelp, obs.L("reason", "search_rate"))
+	e.thrOffer = reg.Counter(thrName, thrHelp, obs.L("reason", "offer_rate"))
+	e.thrAskHashes = reg.Counter(thrName, thrHelp, obs.L("reason", "ask_hashes"))
+	e.shedConnCap = reg.Counter(shdName, shdHelp, obs.L("reason", "conn_cap"))
+	e.shedConnSat = reg.Counter(shdName, shdHelp, obs.L("reason", "conn_saturation"))
+	e.shedMsg = reg.Counter(shdName, shdHelp, obs.L("reason", "msg_saturation"))
+	e.decision = reg.Histogram("edserverd_policy_decision_seconds",
+		"policy decision latency", decisionBuckets())
+	e.shedGauge = reg.Gauge("edserverd_policy_shedding",
+		"1 while the saturation detector has load shedding on")
+	return e, nil
+}
+
+// AdmitConn decides one TCP accept: shed while saturated or over the
+// global cap (active is the caller's open-connection count before this
+// one), throttle when the source IP's bucket is dry.
+func (e *Engine) AdmitConn(ip uint32, active int64) Verdict {
+	start := e.now()
+	defer func() { e.decision.Observe(e.now().Sub(start)) }()
+	if e.shedding.Load() {
+		e.shedConnSat.Inc()
+		return Shed
+	}
+	a := e.cfg.Admission
+	if a == nil {
+		e.admConn.Inc()
+		return Admit
+	}
+	if a.MaxConnections > 0 && active >= int64(a.MaxConnections) {
+		e.shedConnCap.Inc()
+		return Shed
+	}
+	if a.PerIPRate > 0 {
+		e.mu.Lock()
+		st := e.ipLocked(ip, start)
+		ok := st.adm.take(start, a.PerIPRate, a.PerIPBurst, 1)
+		e.mu.Unlock()
+		if !ok {
+			e.thrConnRate.Inc()
+			return Throttle
+		}
+	}
+	e.admConn.Inc()
+	return Admit
+}
+
+// NewConnClient returns a fresh per-connection message-rate state.
+func (e *Engine) NewConnClient() *Client { return &Client{} }
+
+// UDPClient returns the shared message-rate state for a source IP —
+// connectionless clients are budgeted per host.
+func (e *Engine) UDPClient(ip uint32) *Client {
+	e.mu.Lock()
+	st := e.ipLocked(ip, e.now())
+	e.mu.Unlock()
+	return &st.udp
+}
+
+// ipLocked finds or creates the per-IP record; e.mu held. The table is
+// bounded: past the cap, the stalest entries encountered on a partial
+// map walk are evicted — O(1) amortised, good enough for an abuse
+// table (exact LRU buys nothing against address-spoofing adversaries).
+func (e *Engine) ipLocked(ip uint32, now time.Time) *ipState {
+	st, ok := e.ips[ip]
+	if !ok {
+		maxIPs := 65536
+		if a := e.cfg.Admission; a != nil && a.MaxTrackedIPs > 0 {
+			maxIPs = a.MaxTrackedIPs
+		}
+		if len(e.ips) >= maxIPs {
+			e.evictLocked(now, len(e.ips)-maxIPs+1)
+		}
+		st = &ipState{}
+		e.ips[ip] = st
+	}
+	st.lastSeen = now
+	return st
+}
+
+// evictLocked removes at least n entries, preferring the stalest seen
+// on a bounded walk; e.mu held.
+func (e *Engine) evictLocked(now time.Time, n int) {
+	type cand struct {
+		ip  uint32
+		age time.Duration
+	}
+	walked, victims := 0, make([]cand, 0, n)
+	for ip, st := range e.ips {
+		age := now.Sub(st.lastSeen)
+		if len(victims) < n {
+			victims = append(victims, cand{ip, age})
+		} else {
+			for i := range victims {
+				if age > victims[i].age {
+					victims[i] = cand{ip, age}
+					break
+				}
+			}
+		}
+		if walked++; walked >= 4*n+64 {
+			break
+		}
+	}
+	for _, v := range victims {
+		delete(e.ips, v.ip)
+	}
+}
+
+// AdmitSearch decides one SearchReq: shed while saturated, throttle
+// when the client's search bucket is dry. Low-ID clients run at
+// LowIDFactor of the configured rate.
+func (e *Engine) AdmitSearch(c *Client, lowID bool) Verdict {
+	start := e.now()
+	defer func() { e.decision.Observe(e.now().Sub(start)) }()
+	if e.shedding.Load() {
+		e.shedMsg.Inc()
+		return Shed
+	}
+	m := e.cfg.Messages
+	if m == nil || m.SearchesPerSec <= 0 {
+		e.admMsg.Inc()
+		return Admit
+	}
+	rate, burst := m.SearchesPerSec, m.SearchBurst
+	if lowID {
+		f := m.lowIDFactor()
+		rate, burst = rate*f, burst*f
+	}
+	c.mu.Lock()
+	ok := c.search.take(start, rate, burst, 1)
+	c.mu.Unlock()
+	if !ok {
+		e.thrSearch.Inc()
+		return Throttle
+	}
+	e.admMsg.Inc()
+	return Admit
+}
+
+// AdmitOffer decides one OfferFiles — the index-spam defence. Same
+// shape as AdmitSearch over the offer bucket.
+func (e *Engine) AdmitOffer(c *Client, lowID bool) Verdict {
+	start := e.now()
+	defer func() { e.decision.Observe(e.now().Sub(start)) }()
+	if e.shedding.Load() {
+		e.shedMsg.Inc()
+		return Shed
+	}
+	m := e.cfg.Messages
+	if m == nil || m.OffersPerSec <= 0 {
+		e.admMsg.Inc()
+		return Admit
+	}
+	rate, burst := m.OffersPerSec, m.OfferBurst
+	if lowID {
+		f := m.lowIDFactor()
+		rate, burst = rate*f, burst*f
+	}
+	c.mu.Lock()
+	ok := c.offer.take(start, rate, burst, 1)
+	c.mu.Unlock()
+	if !ok {
+		e.thrOffer.Inc()
+		return Throttle
+	}
+	e.admMsg.Inc()
+	return Admit
+}
+
+// AskBudget grants up to n GetSources hashes from the client's ask
+// budget, bounding per-client answer amplification. Returns how many
+// of the query's hashes to serve (the caller truncates); 0 while
+// shedding.
+func (e *Engine) AskBudget(c *Client, n int, lowID bool) int {
+	if n <= 0 {
+		return 0
+	}
+	start := e.now()
+	defer func() { e.decision.Observe(e.now().Sub(start)) }()
+	if e.shedding.Load() {
+		e.shedMsg.Inc()
+		return 0
+	}
+	m := e.cfg.Messages
+	if m == nil || m.AskHashesPerSec <= 0 {
+		e.admMsg.Inc()
+		return n
+	}
+	rate, burst := m.AskHashesPerSec, m.AskBurst
+	if lowID {
+		f := m.lowIDFactor()
+		rate, burst = rate*f, burst*f
+	}
+	c.mu.Lock()
+	granted := int(c.ask.takeUpTo(start, rate, burst, float64(n)))
+	c.mu.Unlock()
+	if dropped := n - granted; dropped > 0 {
+		e.thrAskHashes.Add(uint64(dropped))
+	}
+	if granted > 0 {
+		e.admMsg.Inc()
+	}
+	return granted
+}
+
+// ThrottleDelay is the backpressure pause the daemon applies before
+// sending a throttled or shed answer, and the hold time of the
+// admission tarpit — it turns a flooding lockstep client into a slow
+// one.
+func (e *Engine) ThrottleDelay() time.Duration {
+	if m := e.cfg.Messages; m != nil {
+		return m.throttleDelay()
+	}
+	// No messages section still gets the default: the delay also paces
+	// the admission tarpit, which must bite for admission-only configs.
+	return 100 * time.Millisecond
+}
+
+// Shedding reports whether load shedding is currently on.
+func (e *Engine) Shedding() bool { return e.shedding.Load() }
+
+// Totals sums the decision counters — the quick health view tests and
+// the pollution example read.
+func (e *Engine) Totals() (admitted, throttled, shed uint64) {
+	admitted = e.admConn.Value() + e.admMsg.Value()
+	throttled = e.thrConnRate.Value() + e.thrSearch.Value() +
+		e.thrOffer.Value() + e.thrAskHashes.Value()
+	shed = e.shedConnCap.Value() + e.shedConnSat.Value() + e.shedMsg.Value()
+	return
+}
+
+// Saturated feeds the detector one sample: the current in-flight count
+// and a snapshot of the handle-latency histogram. The latency leg works
+// on the window since the previous sample (bucket deltas), so a burst
+// of slow queries trips it even after days of fast ones. Returns the
+// shedding state after the sample. Not safe for concurrent use with
+// itself — the daemon calls it from one detector loop.
+func (e *Engine) Saturated(inflight int64, snap obs.HistSnapshot) bool {
+	s := e.cfg.Shed
+	if s == nil {
+		return false
+	}
+	hot := s.InflightHigh > 0 && inflight >= int64(s.InflightHigh)
+	if s.P99High > 0 {
+		var prev obs.HistSnapshot
+		if e.havePrev {
+			prev = e.prev
+		}
+		p99, n := windowQuantile(prev, snap, 0.99)
+		minWin := uint64(32)
+		if s.MinWindow > 0 {
+			minWin = uint64(s.MinWindow)
+		}
+		if n >= minWin && p99 >= s.P99High.Std() {
+			hot = true
+		}
+	}
+	e.prev, e.havePrev = snap, true
+
+	now := e.now()
+	if hot {
+		hold := 2 * time.Second
+		if s.Hold > 0 {
+			hold = s.Hold.Std()
+		}
+		e.shedUntil = now.Add(hold)
+		if !e.shedding.Swap(true) {
+			e.shedGauge.Set(1)
+		}
+	} else if e.shedding.Load() && now.After(e.shedUntil) {
+		e.shedding.Store(false)
+		e.shedGauge.Set(0)
+	}
+	return e.shedding.Load()
+}
+
+// RunDetector drives Saturated on the configured interval until ctx
+// ends. inflight and snap sample the daemon's gauge and histogram. A
+// config without a shed section returns immediately.
+func (e *Engine) RunDetector(ctx context.Context, inflight func() int64, snap func() obs.HistSnapshot) {
+	s := e.cfg.Shed
+	if s == nil {
+		return
+	}
+	interval := 250 * time.Millisecond
+	if s.CheckInterval > 0 {
+		interval = s.CheckInterval.Std()
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.Saturated(inflight(), snap())
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// windowQuantile interpolates quantile q over the observations that
+// arrived between two snapshots of the same histogram (prev may be the
+// zero value for "since the beginning"). Returns the estimate and the
+// window's observation count.
+func windowQuantile(prev, cur obs.HistSnapshot, q float64) (time.Duration, uint64) {
+	if len(cur.Buckets) == 0 {
+		return 0, 0
+	}
+	// The difference of two cumulative-count curves is the window's own
+	// cumulative curve (clamped: a replaced histogram yields zeros, not
+	// underflow).
+	win := make([]uint64, len(cur.Buckets))
+	for i, b := range cur.Buckets {
+		d := b.CumulativeCount
+		if i < len(prev.Buckets) {
+			if p := prev.Buckets[i].CumulativeCount; p <= d {
+				d -= p
+			} else {
+				d = 0
+			}
+		}
+		win[i] = d
+	}
+	total := win[len(win)-1]
+	if total == 0 {
+		return 0, 0
+	}
+	rank := q * float64(total)
+	for i, cum := range win {
+		if float64(cum) < rank {
+			continue
+		}
+		lo, prevCum := time.Duration(0), uint64(0)
+		if i > 0 {
+			lo = cur.Buckets[i-1].Le
+			prevCum = win[i-1]
+		}
+		if i == len(win)-1 {
+			return lo, total // open-ended overflow bucket: its lower bound
+		}
+		hi := cur.Buckets[i].Le
+		inBucket := cum - prevCum
+		if inBucket == 0 {
+			return hi, total
+		}
+		frac := (rank - float64(prevCum)) / float64(inBucket)
+		return lo + time.Duration(frac*float64(hi-lo)), total
+	}
+	return cur.Buckets[len(cur.Buckets)-1].Le, total
+}

@@ -1,0 +1,391 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"edtrace/internal/obs"
+)
+
+// fakeClock drives the engine's injectable clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time       { return c.t }
+func (c *fakeClock) tick(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *fakeClock) {
+	t.Helper()
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	e.now = clk.now
+	return e, clk
+}
+
+func f64(v float64) *float64 { return &v }
+
+func TestBucketRefill(t *testing.T) {
+	var b bucket
+	now := time.Unix(0, 0)
+	// Starts full: burst of 3 allows 3 immediate takes.
+	for i := 0; i < 3; i++ {
+		if !b.take(now, 1, 3, 1) {
+			t.Fatalf("take %d refused from a full bucket", i)
+		}
+	}
+	if b.take(now, 1, 3, 1) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// One token per second refills.
+	now = now.Add(1 * time.Second)
+	if !b.take(now, 1, 3, 1) {
+		t.Fatal("refilled token refused")
+	}
+	if b.take(now, 1, 3, 1) {
+		t.Fatal("bucket granted more than the refill")
+	}
+	// Refill is capped at burst.
+	now = now.Add(time.Hour)
+	granted := b.takeUpTo(now, 1, 3, 100)
+	if granted != 3 {
+		t.Fatalf("after an hour granted %v, want burst 3", granted)
+	}
+}
+
+func TestBucketDisabled(t *testing.T) {
+	var b bucket
+	if got := b.takeUpTo(time.Unix(0, 0), 0, 0, 1e9); got != 1e9 {
+		t.Fatalf("disabled limiter granted %v", got)
+	}
+}
+
+func TestAdmitConnPerIPRate(t *testing.T) {
+	e, clk := newTestEngine(t, Config{
+		Admission: &AdmissionSpec{PerIPRate: 2, PerIPBurst: 2},
+	})
+	const ip = 0x7F000001
+	for i := 0; i < 2; i++ {
+		if v := e.AdmitConn(ip, 0); v != Admit {
+			t.Fatalf("conn %d: %v, want admit", i, v)
+		}
+	}
+	if v := e.AdmitConn(ip, 0); v != Throttle {
+		t.Fatalf("over-rate conn: %v, want throttle", v)
+	}
+	// A different IP has its own bucket.
+	if v := e.AdmitConn(0x0A000001, 0); v != Admit {
+		t.Fatalf("fresh IP: %v, want admit", v)
+	}
+	// The bucket refills.
+	clk.tick(time.Second)
+	if v := e.AdmitConn(ip, 0); v != Admit {
+		t.Fatalf("refilled conn: %v, want admit", v)
+	}
+	_, throttled, _ := e.Totals()
+	if throttled != 1 {
+		t.Fatalf("throttled = %d, want 1", throttled)
+	}
+}
+
+func TestAdmitConnGlobalCap(t *testing.T) {
+	e, _ := newTestEngine(t, Config{
+		Admission: &AdmissionSpec{MaxConnections: 10},
+	})
+	if v := e.AdmitConn(1, 9); v != Admit {
+		t.Fatalf("under cap: %v", v)
+	}
+	if v := e.AdmitConn(1, 10); v != Shed {
+		t.Fatalf("at cap: %v, want shed", v)
+	}
+	_, _, shed := e.Totals()
+	if shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
+	}
+}
+
+func TestSearchThrottleAndLowID(t *testing.T) {
+	e, clk := newTestEngine(t, Config{
+		Messages: &MessageSpec{SearchesPerSec: 4, SearchBurst: 4, LowIDFactor: f64(0.5)},
+	})
+	high := e.NewConnClient()
+	low := e.NewConnClient()
+	countAdmits := func(c *Client, lowID bool) int {
+		n := 0
+		for i := 0; i < 10; i++ {
+			if e.AdmitSearch(c, lowID) == Admit {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countAdmits(high, false); got != 4 {
+		t.Fatalf("high-ID burst admits = %d, want 4", got)
+	}
+	if got := countAdmits(low, true); got != 2 {
+		t.Fatalf("low-ID burst admits = %d, want 2 (half rate)", got)
+	}
+	// Refill is also scaled: after 1s the high-ID client has 4 tokens,
+	// the low-ID client 2.
+	clk.tick(time.Second)
+	if got := countAdmits(high, false); got != 4 {
+		t.Fatalf("high-ID refill admits = %d, want 4", got)
+	}
+	if got := countAdmits(low, true); got != 2 {
+		t.Fatalf("low-ID refill admits = %d, want 2", got)
+	}
+}
+
+func TestOfferThrottle(t *testing.T) {
+	e, _ := newTestEngine(t, Config{
+		Messages: &MessageSpec{OffersPerSec: 1, OfferBurst: 2},
+	})
+	c := e.NewConnClient()
+	if e.AdmitOffer(c, false) != Admit || e.AdmitOffer(c, false) != Admit {
+		t.Fatal("burst offers refused")
+	}
+	if v := e.AdmitOffer(c, false); v != Throttle {
+		t.Fatalf("spam offer: %v, want throttle", v)
+	}
+	// Searches are not limited by an offer-only config.
+	if v := e.AdmitSearch(c, false); v != Admit {
+		t.Fatalf("search under offer-only config: %v", v)
+	}
+}
+
+func TestAskBudgetTruncates(t *testing.T) {
+	e, clk := newTestEngine(t, Config{
+		Messages: &MessageSpec{AskHashesPerSec: 10, AskBurst: 16},
+	})
+	c := e.NewConnClient()
+	if got := e.AskBudget(c, 10, false); got != 10 {
+		t.Fatalf("first ask granted %d, want 10", got)
+	}
+	// 6 tokens left: a 10-hash ask is truncated.
+	if got := e.AskBudget(c, 10, false); got != 6 {
+		t.Fatalf("second ask granted %d, want 6", got)
+	}
+	if got := e.AskBudget(c, 10, false); got != 0 {
+		t.Fatalf("drained ask granted %d, want 0", got)
+	}
+	_, throttled, _ := e.Totals()
+	if throttled != 4+10 {
+		t.Fatalf("throttled hashes = %d, want 14", throttled)
+	}
+	clk.tick(time.Second)
+	if got := e.AskBudget(c, 64, false); got != 10 {
+		t.Fatalf("refilled ask granted %d, want 10", got)
+	}
+}
+
+func TestUDPClientSharedPerIP(t *testing.T) {
+	e, _ := newTestEngine(t, Config{
+		Messages: &MessageSpec{SearchesPerSec: 1, SearchBurst: 2},
+	})
+	a, b := e.UDPClient(42), e.UDPClient(42)
+	if a != b {
+		t.Fatal("same IP returned distinct UDP client states")
+	}
+	if e.UDPClient(43) == a {
+		t.Fatal("distinct IPs share client state")
+	}
+	// The shared bucket drains across "both" handles.
+	if e.AdmitSearch(a, false) != Admit || e.AdmitSearch(b, false) != Admit {
+		t.Fatal("burst refused")
+	}
+	if v := e.AdmitSearch(a, false); v != Throttle {
+		t.Fatalf("shared bucket not drained: %v", v)
+	}
+}
+
+func TestIPTableBounded(t *testing.T) {
+	e, clk := newTestEngine(t, Config{
+		Admission: &AdmissionSpec{PerIPRate: 100, MaxTrackedIPs: 64},
+	})
+	for i := 0; i < 1000; i++ {
+		e.AdmitConn(uint32(i), 0)
+		clk.tick(time.Millisecond)
+	}
+	e.mu.Lock()
+	n := len(e.ips)
+	e.mu.Unlock()
+	if n > 64 {
+		t.Fatalf("ip table grew to %d entries, cap 64", n)
+	}
+}
+
+// histFrom builds a histogram snapshot with the given observations.
+func histFrom(durs ...time.Duration) obs.HistSnapshot {
+	h := obs.NewHistogram(nil)
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func TestSaturationDetector(t *testing.T) {
+	e, clk := newTestEngine(t, Config{
+		Shed: &ShedSpec{
+			InflightHigh: 100,
+			P99High:      Duration(50 * time.Millisecond),
+			MinWindow:    4,
+			Hold:         Duration(1 * time.Second),
+		},
+	})
+	// Calm: neither leg crosses.
+	if e.Saturated(10, histFrom(time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond)) {
+		t.Fatal("calm sample tripped shedding")
+	}
+	// Inflight leg trips.
+	if !e.Saturated(100, histFrom(time.Millisecond)) {
+		t.Fatal("inflight crossing did not trip shedding")
+	}
+	if !e.Shedding() {
+		t.Fatal("Shedding() false after trip")
+	}
+	// Hold keeps it on even when calm again.
+	clk.tick(500 * time.Millisecond)
+	if !e.Saturated(0, histFrom()) {
+		t.Fatal("shedding dropped inside the hold window")
+	}
+	// After the hold expires, a calm sample turns it off.
+	clk.tick(1 * time.Second)
+	if e.Saturated(0, histFrom()) {
+		t.Fatal("shedding stuck on after hold + calm sample")
+	}
+}
+
+func TestSaturationLatencyLeg(t *testing.T) {
+	e, _ := newTestEngine(t, Config{
+		Shed: &ShedSpec{P99High: Duration(50 * time.Millisecond), MinWindow: 4},
+	})
+	h := obs.NewHistogram(nil)
+	for i := 0; i < 2000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if e.Saturated(0, h.Snapshot()) {
+		t.Fatal("fast window tripped the latency leg")
+	}
+	// A slow window trips it even though the lifetime p99 stays low:
+	// the detector works on bucket deltas, not lifetime counts.
+	for i := 0; i < 10; i++ {
+		h.Observe(200 * time.Millisecond)
+	}
+	if !e.Saturated(0, h.Snapshot()) {
+		t.Fatal("slow window did not trip the latency leg")
+	}
+	if full := h.Snapshot(); full.P99 >= 200*time.Millisecond {
+		t.Fatalf("test premise broken: lifetime p99 %v should stay low", full.P99)
+	}
+}
+
+func TestSaturationMinWindow(t *testing.T) {
+	e, _ := newTestEngine(t, Config{
+		Shed: &ShedSpec{P99High: Duration(50 * time.Millisecond), MinWindow: 8},
+	})
+	// 3 slow observations are below the window floor: noise, not load.
+	if e.Saturated(0, histFrom(time.Second, time.Second, time.Second)) {
+		t.Fatal("tiny window tripped the latency leg")
+	}
+}
+
+func TestSheddingVerdicts(t *testing.T) {
+	e, _ := newTestEngine(t, Config{
+		Admission: &AdmissionSpec{MaxConnections: 1000},
+		Messages:  &MessageSpec{SearchesPerSec: 1000},
+		Shed:      &ShedSpec{InflightHigh: 1},
+	})
+	e.Saturated(5, obs.HistSnapshot{})
+	c := e.NewConnClient()
+	if v := e.AdmitConn(1, 0); v != Shed {
+		t.Fatalf("conn while shedding: %v", v)
+	}
+	if v := e.AdmitSearch(c, false); v != Shed {
+		t.Fatalf("search while shedding: %v", v)
+	}
+	if got := e.AskBudget(c, 8, false); got != 0 {
+		t.Fatalf("ask while shedding granted %d", got)
+	}
+}
+
+func TestWindowQuantile(t *testing.T) {
+	h := obs.NewHistogram(nil)
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(64 * time.Millisecond)
+	}
+	p99, n := windowQuantile(prev, h.Snapshot(), 0.99)
+	if n != 100 {
+		t.Fatalf("window count = %d, want 100", n)
+	}
+	if p99 < 30*time.Millisecond {
+		t.Fatalf("window p99 = %v, want the slow window to dominate", p99)
+	}
+	// Empty window.
+	snap := h.Snapshot()
+	if _, n := windowQuantile(snap, snap, 0.99); n != 0 {
+		t.Fatalf("empty window count = %d", n)
+	}
+}
+
+func TestConfigStrictParse(t *testing.T) {
+	if _, err := ParseConfig([]byte(`{"admission": {"per_ip_ratez": 1}}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+	if _, err := ParseConfig([]byte(`{"shed": {"inflight_high": 1, "p99_high": 50}}`)); err == nil {
+		t.Fatal("unitless duration accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"admission": {"per_ip_rate": -1}}`)); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"messages": {"low_id_factor": 2, "searches_per_sec": 1}}`)); err == nil {
+		t.Fatal("low_id_factor > 1 accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"admission": {}}`)); err == nil {
+		t.Fatal("no-op admission section accepted")
+	}
+	c, err := ParseConfig([]byte(`{
+		"admission": {"per_ip_rate": 8, "per_ip_burst": 16, "max_connections": 500},
+		"messages": {"searches_per_sec": 2, "search_burst": 8, "throttle_delay": "50ms"},
+		"shed": {"inflight_high": 256, "p99_high": "25ms", "check_interval": "100ms", "hold": "2s"}
+	}`))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if c.Messages.throttleDelay() != 50*time.Millisecond {
+		t.Fatalf("throttle_delay = %v", c.Messages.throttleDelay())
+	}
+	if c.Shed.P99High.Std() != 25*time.Millisecond {
+		t.Fatalf("p99_high = %v", c.Shed.P99High)
+	}
+}
+
+func TestEngineMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := New(Config{Admission: &AdmissionSpec{PerIPRate: 1, PerIPBurst: 1}}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AdmitConn(1, 0)
+	e.AdmitConn(1, 0)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`edserverd_policy_admitted_total{point="accept"} 1`,
+		`edserverd_policy_throttled_total{reason="conn_rate"} 1`,
+		`edserverd_policy_shedding 0`,
+		`edserverd_policy_decision_seconds_count`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
