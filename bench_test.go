@@ -23,6 +23,7 @@ package edtrace
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -391,6 +392,7 @@ func BenchmarkPipeline(b *testing.B) {
 	p := core.NewPipeline(0x0A000001, [2]int{5, 11}, core.DiscardSink{})
 	frames := benchFrames(1024)
 	b.SetBytes(int64(len(frames[0])))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := p.ProcessFrame(simtime.Time(i), frames[i&1023]); err != nil {
@@ -435,6 +437,7 @@ func BenchmarkSessionPipeline(b *testing.B) {
 	frames := benchFrames(4096)
 	src := &replaySource{frames: frames, n: b.N}
 	b.SetBytes(int64(len(frames[0])))
+	b.ReportAllocs() // CI gates this at 0 allocs/frame steady state
 	b.ResetTimer()
 	res, err := NewSession(src, WithServerIP(0x0A000001)).Run(context.Background())
 	if err != nil {
@@ -445,6 +448,35 @@ func BenchmarkSessionPipeline(b *testing.B) {
 		b.Fatal("session decoded nothing — benchmark frames are broken")
 	}
 	b.ReportMetric(float64(st.DecodedOK)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkSessionPipelineSharded is the flow-sharded session across a
+// worker matrix — the tentpole's multi-core scaling experiment. On a
+// single-core host the sharded path measures pure fan-out/merge
+// overhead; scripts/bench_pipeline.sh records the matrix next to
+// host_cpus so runs on different hardware stay comparable.
+func BenchmarkSessionPipelineSharded(b *testing.B) {
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			frames := benchFrames(4096)
+			src := &replaySource{frames: frames, n: b.N}
+			b.SetBytes(int64(len(frames[0])))
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := NewSession(src,
+				WithServerIP(0x0A000001),
+				WithShards(shards),
+			).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := res.Report.Pipeline
+			if st.DecodedOK == 0 {
+				b.Fatal("session decoded nothing — benchmark frames are broken")
+			}
+			b.ReportMetric(float64(st.DecodedOK)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
 }
 
 // BenchmarkSessionPipelineMetrics is BenchmarkSessionPipeline with

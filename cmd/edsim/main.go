@@ -29,6 +29,7 @@ import (
 
 	"edtrace"
 	"edtrace/internal/core"
+	"edtrace/internal/profiling"
 	"edtrace/internal/simtime"
 	"edtrace/internal/workload"
 )
@@ -47,8 +48,16 @@ func main() {
 		service  = flag.Int("service", 6000, "capture service rate (frames/sec)")
 		tee      = flag.String("tee", "", "mirror processed frames into a pcap file")
 		progress = flag.Bool("progress", false, "print periodic progress")
+		shards   = flag.Int("shards", 1, "flow-sharded pipeline workers (1 = serial, 0 = GOMAXPROCS)")
+		dsw      = flag.Int("dataset-workers", 0, "background dataset chunk compressors (0 = inline)")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	sim := core.DefaultSimConfig()
 	sim.Workload.Seed = *seed
@@ -86,12 +95,15 @@ func main() {
 	sim.KernelBufferBytes = *bufKB << 10
 	sim.ServicePerPoll = *service / 20 // polled every 50 ms
 
-	opts := []edtrace.Option{}
+	opts := []edtrace.Option{edtrace.WithShards(*shards)}
 	if *figures {
 		opts = append(opts, edtrace.WithFigures())
 	}
 	if *out != "" {
 		opts = append(opts, edtrace.WithDataset(*out, *gz))
+		if *dsw > 0 {
+			opts = append(opts, edtrace.WithDatasetWorkers(*dsw))
+		}
 	}
 	if *tee != "" {
 		opts = append(opts, edtrace.WithPcapTee(*tee))

@@ -29,7 +29,7 @@ type recordSink struct {
 func (c *recordSink) Write(r *xmlenc.Record) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.recs = append(c.recs, r)
+	c.recs = append(c.recs, r.Clone()) // records are only valid during Write
 	return nil
 }
 

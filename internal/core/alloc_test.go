@@ -1,0 +1,58 @@
+// Allocation gates measure the un-instrumented runtime; the race
+// detector's shadow allocations would fail them spuriously.
+//go:build !race
+
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"edtrace/internal/ed2k"
+	"edtrace/internal/simtime"
+)
+
+// TestProcessFrameZeroAllocSteadyState gates the pipeline's hot path:
+// after the anonymisation tables have seen every client and fileID in
+// the stream, processing a frame end to end — ethernet, IP, UDP, pooled
+// decode, anonymise, record transform, sink — allocates nothing. This
+// is the property that keeps a ten-week capture out of the garbage
+// collector.
+func TestProcessFrameZeroAllocSteadyState(t *testing.T) {
+	p := NewPipeline(testServerIP, [2]int{5, 11}, DiscardSink{})
+	// A repeat-heavy mix like real traffic: queries to the server and
+	// answers back, over a fixed set of clients and fileIDs.
+	var frames [][]byte
+	for i := 0; i < 64; i++ {
+		var fid ed2k.FileID
+		fid[5], fid[11] = byte(i), byte(i>>4)
+		client := 0x20000000 + uint32(i)*0x101
+		frames = append(frames,
+			frameFor(client, testServerIP, ed2k.Encode(&ed2k.GetSources{Hashes: []ed2k.FileID{fid}})),
+			frameFor(testServerIP, client, ed2k.Encode(&ed2k.FoundSources{
+				Hash: fid, Sources: []ed2k.Endpoint{{ID: ed2k.ClientID(client), Port: 4662}},
+			})),
+			frameFor(client, testServerIP, ed2k.Encode(&ed2k.StatReq{Challenge: uint32(i)})),
+		)
+	}
+	run := func() {
+		for i, f := range frames {
+			if err := p.ProcessFrame(simtime.Time(i)*simtime.Millisecond, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A GC cycle empties sync.Pools; garbage left by neighbouring tests
+	// can trigger one mid-measurement, so pin the collector off.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 8; i++ {
+		run() // warm: first-sight clients/files and pool growth allocate
+	}
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("steady-state ProcessFrame allocates %.2f times per %d-frame run; want 0",
+			allocs, len(frames))
+	}
+	if p.Stats().DecodedOK == 0 {
+		t.Fatal("gate decoded nothing — frames are broken")
+	}
+}

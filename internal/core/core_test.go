@@ -25,7 +25,7 @@ func frameFor(src, dst uint32, payload []byte) []byte {
 type memSink struct{ recs []*xmlenc.Record }
 
 func (m *memSink) Write(r *xmlenc.Record) error {
-	m.recs = append(m.recs, r)
+	m.recs = append(m.recs, r.Clone()) // the pipeline recycles its scratch record
 	return nil
 }
 

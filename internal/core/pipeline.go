@@ -13,6 +13,12 @@
 //
 // The same Pipeline runs in three modes: inside the discrete-event
 // simulation (SimWorld), over a pcap file, or on a live UDP socket.
+//
+// The pipeline is split at the decode/anonymise boundary so the capture
+// session can parallelise it: a FrameDecoder (steps 1–2, stateful only
+// in its fragment reassembler) can run one instance per flow shard,
+// while EmitDecoded (step 3, whose order-of-appearance anonymisation is
+// inherently sequential) commits decoded messages in a single goroutine.
 package core
 
 import (
@@ -27,6 +33,12 @@ import (
 
 // RecordSink consumes anonymised records. dataset.Writer satisfies it;
 // analysis collectors do too.
+//
+// Borrow contract: the record — and every slice inside it — is only
+// valid for the duration of the Write call. The pipeline recycles one
+// scratch record through all transforms, so a sink that keeps records
+// (or their Files/FileRefs/Sources/Keywords slices) past its return must
+// store r.Clone() instead.
 type RecordSink interface {
 	Write(*xmlenc.Record) error
 }
@@ -56,6 +68,26 @@ type PipelineStats struct {
 	Answers      uint64
 }
 
+// Add returns the field-wise sum of s and o — how a sharded session
+// folds per-shard decoder counters into the merge stage's totals.
+func (s PipelineStats) Add(o PipelineStats) PipelineStats {
+	s.Frames += o.Frames
+	s.EthMalformed += o.EthMalformed
+	s.IPMalformed += o.IPMalformed
+	s.UDPDatagrams += o.UDPDatagrams
+	s.UDPMalformed += o.UDPMalformed
+	s.Fragments += o.Fragments
+	s.Reassembled += o.Reassembled
+	s.EDMessages += o.EDMessages
+	s.DecodedOK += o.DecodedOK
+	s.FailStruct += o.FailStruct
+	s.FailSemantic += o.FailSemantic
+	s.Records += o.Records
+	s.Queries += o.Queries
+	s.Answers += o.Answers
+	return s
+}
+
 // UndecodedRate returns the fraction of eDonkey messages not decoded —
 // the paper reports 0.68 %.
 func (s *PipelineStats) UndecodedRate() float64 {
@@ -75,6 +107,100 @@ func (s *PipelineStats) StructuralShare() float64 {
 	return float64(s.FailStruct) / float64(bad)
 }
 
+// Decoded is one frame's decode outcome: the dialog endpoints and the
+// pooled message (obtained via ed2k.DecodePooled; ownership passes to
+// whoever commits it — EmitDecoded releases it back to the pool).
+type Decoded struct {
+	Src, Dst uint32
+	Msg      ed2k.Message
+}
+
+// FrameDecoder is the front half of the pipeline: ethernet/IP parsing,
+// fragment reassembly, UDP validation and two-phase eDonkey decoding.
+// It holds no anonymisation state, so a sharded session runs one
+// instance per worker (each shard sees all fragments of its flows,
+// keeping reassembly correct). Not safe for concurrent use; give each
+// goroutine its own.
+type FrameDecoder struct {
+	reasm *netsim.Reassembler
+	stats PipelineStats // decode-side counters; Records/Queries/Answers stay zero
+}
+
+// NewFrameDecoder returns an empty decoder.
+func NewFrameDecoder() *FrameDecoder {
+	return &FrameDecoder{reasm: netsim.NewReassembler()}
+}
+
+// Stats returns a copy of the decode-side counters.
+func (d *FrameDecoder) Stats() PipelineStats {
+	s := d.stats
+	s.Fragments = d.reasm.Fragments
+	s.Reassembled = d.reasm.Reassembled
+	return s
+}
+
+// ExpireReassembly ages out incomplete fragment groups.
+func (d *FrameDecoder) ExpireReassembly(now simtime.Time) { d.reasm.Expire(now) }
+
+// DecodeFrame runs one captured ethernet frame through parsing,
+// reassembly and decoding. ok reports whether a message was decoded;
+// malformed traffic is counted, never returned as an error. The frame
+// bytes are not retained: they may be recycled as soon as DecodeFrame
+// returns. The returned message is pooled — pass it to EmitDecoded or
+// release it with ed2k.Release.
+func (d *FrameDecoder) DecodeFrame(now simtime.Time, frame []byte) (Decoded, bool) {
+	d.stats.Frames++
+	ip, err := netsim.DecodeEthernet(frame)
+	if err != nil {
+		d.stats.EthMalformed++
+		return Decoded{}, false
+	}
+	hdr, payload, err := netsim.DecodeIPv4(ip)
+	if err != nil {
+		d.stats.IPMalformed++
+		return Decoded{}, false
+	}
+	if hdr.Protocol != netsim.ProtoUDP {
+		return Decoded{}, false // the paper's analysis covers UDP only (§2.2)
+	}
+	dg, ok := d.reasm.Push(now, hdr, payload)
+	if !ok {
+		return Decoded{}, false // waiting for more fragments
+	}
+	_, udpPayload, err := netsim.DecodeUDP(hdr.Src, hdr.Dst, dg)
+	if err != nil {
+		d.stats.UDPMalformed++
+		return Decoded{}, false
+	}
+	d.stats.UDPDatagrams++
+	return d.decodeMessage(hdr.Src, hdr.Dst, udpPayload)
+}
+
+// DecodeDatagram decodes one already-extracted UDP payload — the live
+// capture entry point, where a socket yields datagrams, not frames.
+func (d *FrameDecoder) DecodeDatagram(src, dst uint32, payload []byte) (Decoded, bool) {
+	d.stats.UDPDatagrams++
+	return d.decodeMessage(src, dst, payload)
+}
+
+func (d *FrameDecoder) decodeMessage(src, dst uint32, raw []byte) (Decoded, bool) {
+	d.stats.EDMessages++
+	msg, err := ed2k.DecodePooled(raw)
+	if err != nil {
+		switch {
+		case errors.Is(err, ed2k.ErrStructural):
+			d.stats.FailStruct++
+		case errors.Is(err, ed2k.ErrSemantic):
+			d.stats.FailSemantic++
+		default:
+			d.stats.FailStruct++
+		}
+		return Decoded{}, false
+	}
+	d.stats.DecodedOK++
+	return Decoded{Src: src, Dst: dst, Msg: msg}, true
+}
+
 // Pipeline decodes, anonymises and stores captured frames.
 type Pipeline struct {
 	// ServerIP classifies direction: traffic towards it is a query.
@@ -86,11 +212,12 @@ type Pipeline struct {
 	// record as its provenance tag.
 	servers map[uint32]string
 
+	dec     *FrameDecoder
 	clients *anonymize.ClientDirect
 	files   *anonymize.FileBuckets
-	reasm   *netsim.Reassembler
 	sink    RecordSink
-	stats   PipelineStats
+	stats   PipelineStats // emit-side counters (Records/Queries/Answers)
+	scratch xmlenc.Record // recycled through every transform
 }
 
 // NewPipeline builds a pipeline writing anonymised records to sink.
@@ -98,9 +225,9 @@ type Pipeline struct {
 func NewPipeline(serverIP uint32, fileBytePair [2]int, sink RecordSink) *Pipeline {
 	return &Pipeline{
 		ServerIP: serverIP,
+		dec:      NewFrameDecoder(),
 		clients:  anonymize.NewClientDirect(),
 		files:    anonymize.NewFileBuckets(fileBytePair[0], fileBytePair[1]),
-		reasm:    netsim.NewReassembler(),
 		sink:     sink,
 	}
 }
@@ -114,12 +241,22 @@ func NewPipelineMulti(servers map[uint32]string, fileBytePair [2]int, sink Recor
 	return p
 }
 
-// Stats returns a copy of the counters.
+// IsServer reports whether addr is a captured server — the sharded
+// session uses the same classification to key flows by their client
+// endpoint.
+func (p *Pipeline) IsServer(addr uint32) bool {
+	if p.servers != nil {
+		_, ok := p.servers[addr]
+		return ok
+	}
+	return addr == p.ServerIP
+}
+
+// Stats returns a copy of the counters: the embedded decoder's plus the
+// emit side's. A sharded session folds its workers' decoder stats on top
+// with PipelineStats.Add.
 func (p *Pipeline) Stats() PipelineStats {
-	s := p.stats
-	s.Fragments = p.reasm.Fragments
-	s.Reassembled = p.reasm.Reassembled
-	return s
+	return p.stats.Add(p.dec.Stats())
 }
 
 // ClientAnonymizer exposes the clientID structure (for reports).
@@ -129,65 +266,38 @@ func (p *Pipeline) ClientAnonymizer() *anonymize.ClientDirect { return p.clients
 func (p *Pipeline) FileAnonymizer() *anonymize.FileBuckets { return p.files }
 
 // ExpireReassembly ages out incomplete fragment groups.
-func (p *Pipeline) ExpireReassembly(now simtime.Time) { p.reasm.Expire(now) }
+func (p *Pipeline) ExpireReassembly(now simtime.Time) { p.dec.ExpireReassembly(now) }
 
 // ProcessFrame runs one captured ethernet frame through the full
 // pipeline. Errors from the sink abort processing and are returned;
 // malformed traffic is counted, not returned.
 func (p *Pipeline) ProcessFrame(now simtime.Time, frame []byte) error {
-	p.stats.Frames++
-	ip, err := netsim.DecodeEthernet(frame)
-	if err != nil {
-		p.stats.EthMalformed++
-		return nil
-	}
-	hdr, payload, err := netsim.DecodeIPv4(ip)
-	if err != nil {
-		p.stats.IPMalformed++
-		return nil
-	}
-	if hdr.Protocol != netsim.ProtoUDP {
-		return nil // the paper's analysis covers UDP only (§2.2)
-	}
-	dg, ok := p.reasm.Push(now, hdr, payload)
+	d, ok := p.dec.DecodeFrame(now, frame)
 	if !ok {
-		return nil // waiting for more fragments
-	}
-	_, udpPayload, err := netsim.DecodeUDP(hdr.Src, hdr.Dst, dg)
-	if err != nil {
-		p.stats.UDPMalformed++
 		return nil
 	}
-	p.stats.UDPDatagrams++
-	return p.processMessage(now, hdr.Src, hdr.Dst, udpPayload)
+	return p.EmitDecoded(now, d)
 }
 
 // ProcessDatagram feeds one already-extracted UDP payload through the
 // decode/anonymise/store stages. Live capture uses this entry point: a
 // UDP socket yields datagrams, not ethernet frames.
 func (p *Pipeline) ProcessDatagram(now simtime.Time, src, dst uint32, payload []byte) error {
-	p.stats.UDPDatagrams++
-	return p.processMessage(now, src, dst, payload)
-}
-
-// processMessage decodes one eDonkey payload and emits a record.
-func (p *Pipeline) processMessage(now simtime.Time, src, dst uint32, raw []byte) error {
-	p.stats.EDMessages++
-	msg, err := ed2k.Decode(raw)
-	if err != nil {
-		switch {
-		case errors.Is(err, ed2k.ErrStructural):
-			p.stats.FailStruct++
-		case errors.Is(err, ed2k.ErrSemantic):
-			p.stats.FailSemantic++
-		default:
-			p.stats.FailStruct++
-		}
+	d, ok := p.dec.DecodeDatagram(src, dst, payload)
+	if !ok {
 		return nil
 	}
-	p.stats.DecodedOK++
+	return p.EmitDecoded(now, d)
+}
 
-	rec := p.transform(now, src, dst, msg)
+// EmitDecoded runs the anonymise/format/store back half on one decoded
+// message. It takes ownership of d.Msg, releasing it to the decode pool
+// before returning. Order of calls defines the anonymised ID space
+// (order of appearance), so a sharded session serialises EmitDecoded in
+// its merge goroutine, in global capture order.
+func (p *Pipeline) EmitDecoded(now simtime.Time, d Decoded) error {
+	rec := p.transform(now, d.Src, d.Dst, d.Msg)
+	ed2k.Release(d.Msg)
 	if rec == nil {
 		return nil
 	}

@@ -13,11 +13,16 @@ import (
 // destination for answers. eDonkey-level clientIDs inside answers
 // (sources) run through the same clientID table, so low-ID numbers and
 // IPs share one consistent anonymised space, like the paper's dataset.
+//
+// The returned record is the pipeline's scratch: it is overwritten by
+// the next transform, which is why RecordSink's borrow contract exists.
+// Nothing in it aliases the message, so the message may be released the
+// moment transform returns.
 func (p *Pipeline) transform(now simtime.Time, src, dst uint32, msg ed2k.Message) *xmlenc.Record {
-	rec := &xmlenc.Record{
-		T:  now.Seconds(),
-		Op: ed2k.OpcodeName(msg.Opcode()),
-	}
+	rec := &p.scratch
+	rec.Reset()
+	rec.T = now.Seconds()
+	rec.Op = ed2k.OpcodeName(msg.Opcode())
 	if p.servers != nil {
 		// Merged multi-server capture: any captured server anchors the
 		// dialog, and its name is the record's provenance tag. Server-to-
@@ -48,13 +53,13 @@ func (p *Pipeline) transform(now simtime.Time, src, dst uint32, msg ed2k.Message
 
 	switch m := msg.(type) {
 	case *ed2k.OfferFiles:
-		rec.Files = p.fileInfos(m.Files)
+		rec.Files = p.fileInfos(rec.Files, m.Files)
 	case *ed2k.OfferAck:
 		rec.Accepted = m.Accepted
 	case *ed2k.SearchReq:
 		p.encodeSearch(rec, m.Expr)
 	case *ed2k.SearchRes:
-		rec.Files = p.fileInfos(m.Results)
+		rec.Files = p.fileInfos(rec.Files, m.Results)
 	case *ed2k.GetSources:
 		for _, h := range m.Hashes {
 			rec.FileRefs = append(rec.FileRefs, p.files.Anonymize(h))
@@ -70,19 +75,18 @@ func (p *Pipeline) transform(now simtime.Time, src, dst uint32, msg ed2k.Message
 	case *ed2k.ServerList:
 		rec.Accepted = uint32(len(m.Servers)) // addresses withheld
 	case *ed2k.ServerDescRes:
-		rec.Keywords = []string{
+		rec.Keywords = append(rec.Keywords,
 			anonymize.HashString(m.Name),
-			anonymize.HashString(m.Desc),
-		}
+			anonymize.HashString(m.Desc))
 	case *ed2k.StatReq, ed2k.GetServerList, ed2k.ServerDescReq:
 		// Header-only records.
 	}
 	return rec
 }
 
-// fileInfos anonymises a batch of file entries.
-func (p *Pipeline) fileInfos(entries []ed2k.FileEntry) []xmlenc.FileInfo {
-	out := make([]xmlenc.FileInfo, 0, len(entries))
+// fileInfos anonymises a batch of file entries into dst (the scratch
+// record's recycled Files slice).
+func (p *Pipeline) fileInfos(dst []xmlenc.FileInfo, entries []ed2k.FileEntry) []xmlenc.FileInfo {
 	for i := range entries {
 		e := &entries[i]
 		fi := xmlenc.FileInfo{ID: p.files.Anonymize(e.ID)}
@@ -95,9 +99,9 @@ func (p *Pipeline) fileInfos(entries []ed2k.FileEntry) []xmlenc.FileInfo {
 		if typ, ok := e.Type(); ok {
 			fi.TypeHash = anonymize.HashString(typ)
 		}
-		out = append(out, fi)
+		dst = append(dst, fi)
 	}
-	return out
+	return dst
 }
 
 // encodeSearch hashes every keyword and keeps size constraints (in KB).

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync"
 
 	"edtrace/internal/xmlenc"
 )
@@ -43,7 +44,9 @@ const manifestName = "manifest.json"
 type Writer struct {
 	dir          string
 	chunkRecords uint64
+	chunkBytes   int
 	compress     bool
+	workers      int
 	meta         map[string]string
 
 	cur     *os.File
@@ -51,7 +54,18 @@ type Writer struct {
 	enc     *xmlenc.Encoder
 	inChunk uint64
 
-	man Manifest
+	// Parallel mode (workers > 0): chunks assemble in raw and flow
+	// through jobs to the worker pool; see parallel.go.
+	raw      []byte
+	curName  string
+	jobs     chan chunkJob
+	freeBufs chan []byte
+	wg       sync.WaitGroup
+	werrMu   sync.Mutex
+	werr     error
+
+	closed bool
+	man    Manifest
 }
 
 // WriterOptions configures a dataset writer.
@@ -60,6 +74,16 @@ type WriterOptions struct {
 	ChunkRecords uint64
 	// Compress gzips chunk files (.xml.gz).
 	Compress bool
+	// Workers > 0 compresses and writes chunk files on that many
+	// background goroutines, keeping gzip off the record pipeline's
+	// critical path. Chunks then also rotate on a byte budget
+	// (ChunkBytes) so in-flight memory stays bounded. Record order
+	// across chunks is unchanged. Write and Close must still be called
+	// from a single goroutine.
+	Workers int
+	// ChunkBytes caps the in-memory chunk size in parallel mode
+	// (default 4 MiB of encoded XML); ignored when Workers == 0.
+	ChunkBytes int
 	// Meta is copied into the manifest and each chunk header.
 	Meta map[string]string
 }
@@ -69,25 +93,45 @@ func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
 	if opts.ChunkRecords == 0 {
 		opts.ChunkRecords = 1_000_000
 	}
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = defaultChunkBytes
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	w := &Writer{
 		dir:          dir,
 		chunkRecords: opts.ChunkRecords,
+		chunkBytes:   opts.ChunkBytes,
 		compress:     opts.Compress,
+		workers:      opts.Workers,
 		meta:         opts.Meta,
 	}
 	w.man.Version = "1.0"
 	w.man.Meta = opts.Meta
+	if w.workers > 0 {
+		w.startWorkers()
+	}
 	return w, nil
 }
 
-func (w *Writer) openChunk() error {
+// nextChunk assigns the next chunk's file name (recorded in manifest
+// order) and builds its header metadata.
+func (w *Writer) nextChunk() (string, map[string]string) {
 	name := fmt.Sprintf("chunk-%05d.xml", len(w.man.Chunks))
 	if w.compress {
 		name += ".gz"
 	}
+	meta := map[string]string{"chunk": strconv.Itoa(len(w.man.Chunks))}
+	for k, v := range w.meta {
+		meta[k] = v
+	}
+	w.man.Chunks = append(w.man.Chunks, name)
+	return name, meta
+}
+
+func (w *Writer) openChunk() error {
+	name, meta := w.nextChunk()
 	f, err := os.Create(filepath.Join(w.dir, name))
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
@@ -99,14 +143,9 @@ func (w *Writer) openChunk() error {
 		sink = w.curGzip
 	}
 	w.enc = xmlenc.NewEncoder(sink)
-	meta := map[string]string{"chunk": strconv.Itoa(len(w.man.Chunks))}
-	for k, v := range w.meta {
-		meta[k] = v
-	}
 	if err := w.enc.Begin(meta); err != nil {
 		return err
 	}
-	w.man.Chunks = append(w.man.Chunks, name)
 	w.inChunk = 0
 	return nil
 }
@@ -132,6 +171,9 @@ func (w *Writer) closeChunk() error {
 
 // Write appends one record, rotating chunks as needed.
 func (w *Writer) Write(rec *xmlenc.Record) error {
+	if w.workers > 0 {
+		return w.writeParallel(rec)
+	}
 	if w.cur == nil || w.inChunk >= w.chunkRecords {
 		if err := w.closeChunk(); err != nil {
 			return err
@@ -157,9 +199,20 @@ func (w *Writer) SetCounters(distinctClients, distinctFiles uint32) {
 // Records reports records written so far.
 func (w *Writer) Records() uint64 { return w.man.Records }
 
-// Close finishes the last chunk and writes the manifest.
+// Close finishes the last chunk and writes the manifest. Close is
+// idempotent on success; after a chunk-write failure it returns the
+// error and leaves no manifest, so a broken dataset is unreadable
+// rather than silently truncated.
 func (w *Writer) Close() error {
-	if err := w.closeChunk(); err != nil {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.workers > 0 {
+		if err := w.closeParallel(); err != nil {
+			return err
+		}
+	} else if err := w.closeChunk(); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(&w.man, "", "  ")

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+
+	"edtrace/internal/xmlenc"
+)
+
+// Parallel chunk pipeline (WriterOptions.Workers > 0): Write — still
+// called serially, from the session's record-sink goroutine — appends
+// record lines into an in-memory chunk buffer; a full chunk is handed to
+// a pool of workers that compress and write the files concurrently.
+// That moves gzip, the dominant cost of a compressed dataset, off the
+// pipeline's critical path.
+//
+// Record order is preserved by construction, not by synchronisation:
+// chunk names are assigned serially at rotation time and the manifest
+// lists them in that order, so the on-disk completion order is
+// irrelevant to readers. Buffers recycle through a freelist, and the
+// bounded job queue caps memory at roughly (2×workers+1) chunks.
+
+// chunkJob is one finished in-memory chunk awaiting compression.
+type chunkJob struct {
+	name string
+	data []byte
+}
+
+// defaultChunkBytes rotates in-memory chunks well before they strain the
+// freelist; a byte bound (unlike the record bound alone) keeps memory
+// predictable when records carry large file lists.
+const defaultChunkBytes = 4 << 20
+
+func (w *Writer) startWorkers() {
+	w.jobs = make(chan chunkJob, w.workers)
+	w.freeBufs = make(chan []byte, 2*w.workers+1)
+	for i := 0; i < w.workers; i++ {
+		w.wg.Add(1)
+		go w.worker()
+	}
+}
+
+func (w *Writer) worker() {
+	defer w.wg.Done()
+	var gz *gzip.Writer
+	for job := range w.jobs {
+		if err := w.writeChunkFile(job, &gz); err != nil {
+			w.fail(err)
+		}
+		select {
+		case w.freeBufs <- job.data[:0]:
+		default:
+		}
+	}
+}
+
+// writeChunkFile writes one chunk to disk, compressing if configured.
+// The gzip writer is per-worker state, Reset between chunks.
+func (w *Writer) writeChunkFile(job chunkJob, gz **gzip.Writer) error {
+	f, err := os.Create(filepath.Join(w.dir, job.name))
+	if err != nil {
+		return err
+	}
+	var werr error
+	if w.compress {
+		if *gz == nil {
+			*gz = gzip.NewWriter(f)
+		} else {
+			(*gz).Reset(f)
+		}
+		_, werr = (*gz).Write(job.data)
+		if cerr := (*gz).Close(); werr == nil {
+			werr = cerr
+		}
+	} else {
+		_, werr = f.Write(job.data)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// fail records the first worker error; Write and Close surface it.
+func (w *Writer) fail(err error) {
+	w.werrMu.Lock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	w.werrMu.Unlock()
+}
+
+func (w *Writer) workerErr() error {
+	w.werrMu.Lock()
+	defer w.werrMu.Unlock()
+	return w.werr
+}
+
+// writeParallel is the Workers>0 fast path of Write.
+func (w *Writer) writeParallel(rec *xmlenc.Record) error {
+	if err := w.workerErr(); err != nil {
+		return err
+	}
+	if w.raw == nil {
+		select {
+		case w.raw = <-w.freeBufs:
+		default:
+			w.raw = make([]byte, 0, w.chunkBytes+defaultChunkBytes/4)
+		}
+		name, meta := w.nextChunk()
+		w.curName = name
+		w.raw = xmlenc.AppendHeader(w.raw, meta)
+		w.inChunk = 0
+	}
+	w.raw = xmlenc.AppendRecord(w.raw, rec)
+	w.inChunk++
+	w.man.Records++
+	if w.inChunk >= w.chunkRecords || len(w.raw) >= w.chunkBytes {
+		w.submitChunk()
+	}
+	return nil
+}
+
+// submitChunk seals the in-memory chunk and queues it for a worker;
+// blocking here when every worker is busy is the writer's backpressure.
+func (w *Writer) submitChunk() {
+	if w.raw == nil {
+		return
+	}
+	w.raw = xmlenc.AppendFooter(w.raw)
+	w.jobs <- chunkJob{name: w.curName, data: w.raw}
+	w.raw = nil
+}
+
+// closeParallel drains the worker pool; any worker error aborts before
+// the manifest is written, like a chunk-write error on the serial path.
+func (w *Writer) closeParallel() error {
+	w.submitChunk()
+	close(w.jobs)
+	w.wg.Wait()
+	return w.workerErr()
+}

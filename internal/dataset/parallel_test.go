@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"edtrace/internal/xmlenc"
+)
+
+// TestParallelWriterRoundtrip: the worker-pool writer must produce a
+// dataset that reads back identically — same records, same order, valid
+// manifest — compressed and not, across worker counts.
+func TestParallelWriterRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		workers  int
+		compress bool
+	}{
+		{1, false}, {4, false}, {1, true}, {4, true},
+	} {
+		t.Run(fmt.Sprintf("workers=%d,gzip=%v", tc.workers, tc.compress), func(t *testing.T) {
+			dir := t.TempDir()
+			writeDataset(t, dir, 250, WriterOptions{
+				ChunkRecords: 100,
+				Compress:     tc.compress,
+				Workers:      tc.workers,
+			})
+			man, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Records != 250 {
+				t.Fatalf("records = %d", man.Records)
+			}
+			if len(man.Chunks) != 3 { // 100 + 100 + 50, like the serial writer
+				t.Fatalf("chunks = %v", man.Chunks)
+			}
+			if tc.compress {
+				for _, c := range man.Chunks {
+					if filepath.Ext(c) != ".gz" {
+						t.Fatalf("chunk %s not compressed", c)
+					}
+				}
+			}
+			var i int
+			err = ForEach(dir, func(r *xmlenc.Record) error {
+				if r.T != float64(i) || r.Client != uint32(i%10) {
+					return fmt.Errorf("record %d out of order or corrupt: %+v", i, r)
+				}
+				i++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i != 250 {
+				t.Fatalf("ForEach visited %d records", i)
+			}
+			rep, err := Verify(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("parallel dataset violates the spec:\n%v", rep.Violations)
+			}
+		})
+	}
+}
+
+// TestParallelWriterByteRotation: large records must rotate chunks on
+// the byte budget before the record budget, keeping in-flight memory
+// bounded.
+func TestParallelWriterByteRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, WriterOptions{Workers: 2, ChunkBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &xmlenc.Record{Op: "OfferFiles", Dir: xmlenc.DirQuery}
+	for i := 0; i < 64; i++ {
+		rec.Files = append(rec.Files, xmlenc.FileInfo{ID: uint32(i), SizeKB: 700 * 1024})
+	}
+	for i := 0; i < 200; i++ {
+		rec.T = float64(i)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Chunks) < 10 {
+		t.Fatalf("byte budget did not rotate: %d chunks for ~%d KB of XML",
+			len(man.Chunks), 200*64*30/1024)
+	}
+	var n int
+	if err := ForEach(dir, func(*xmlenc.Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+// TestParallelWriterCloseIdempotent guards the double-Close path the
+// session's defers can take.
+func TestParallelWriterCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, WriterOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&xmlenc.Record{Op: "StatReq", Dir: xmlenc.DirQuery}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Records != 1 {
+		t.Fatalf("records = %d", man.Records)
+	}
+}

@@ -1,0 +1,49 @@
+// Allocation gates measure the un-instrumented runtime; the race
+// detector's shadow allocations would fail them spuriously.
+//go:build !race
+
+package ed2k
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestDecodePooledZeroAlloc gates the tentpole property of the pooled
+// decoder: once the per-type pools are warm, decoding and releasing the
+// high-volume message types allocates nothing. String-carrying payloads
+// (file name tags, server descriptions) are exempt — Go strings cannot
+// be recycled — which is why the gate uses numeric-only messages, the
+// composition of real GetSources/StatReq-dominated traffic.
+func TestDecodePooledZeroAlloc(t *testing.T) {
+	raws := [][]byte{
+		Encode(&GetSources{Hashes: []FileID{{1, 2, 3}, {4, 5, 6}}}),
+		Encode(&FoundSources{Hash: FileID{9}, Sources: []Endpoint{{ID: 1, Port: 2}, {ID: 3, Port: 4}}}),
+		Encode(&StatReq{Challenge: 7}),
+		Encode(&StatRes{Challenge: 7, Users: 10, Files: 20}),
+		Encode(&OfferAck{Accepted: 3}),
+		Encode(&ServerList{Servers: []ServerAddr{{IP: 1, Port: 2}, {IP: 3, Port: 4}}}),
+		Encode(&OfferFiles{Files: []FileEntry{{
+			ID: FileID{5}, Client: 6, Port: 7,
+			Tags: []Tag{UintTag(FTFileSize, 1<<20)},
+		}}}),
+	}
+	decodeAll := func() {
+		for _, raw := range raws {
+			m, err := DecodePooled(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Release(m)
+		}
+	}
+	// A GC cycle empties sync.Pools; garbage left by neighbouring tests
+	// can trigger one mid-measurement, so pin the collector off.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 64; i++ {
+		decodeAll() // warm the pools and grow slice capacity to steady state
+	}
+	if allocs := testing.AllocsPerRun(200, decodeAll); allocs != 0 {
+		t.Fatalf("pooled decode allocates %.2f times per %d-message run; want 0", allocs, len(raws))
+	}
+}

@@ -1,9 +1,24 @@
 package ed2k
 
+import "sync"
+
 // This file implements the two-phase decoder described in §2.3 of the
 // paper: "a structural validation of messages (based on their expected
 // length, for example), then, if successful, an attempt at effective
 // decoding."
+//
+// Two entry points share one decode core:
+//
+//   - Decode allocates a fresh message per call. Results are independent
+//     of both the input bytes and any pool; use it when messages outlive
+//     the call site (daemon handlers, tests, tools).
+//   - DecodePooled draws the high-volume message kinds from per-type
+//     sync.Pools and must be paired with Release. Decoded messages never
+//     alias the input, so the raw payload (typically a borrowed frame
+//     buffer) may be reused the moment DecodePooled returns. This is the
+//     capture pipeline's entry point: steady state is zero allocations
+//     per message (string-valued tags and search expressions are the
+//     documented exceptions).
 
 // ValidateStructure performs the cheap first phase on a raw UDP payload.
 // It checks the protocol marker, that the opcode is known, and that the
@@ -18,8 +33,13 @@ func ValidateStructure(raw []byte) error {
 	if raw[0] != ProtoEDonkey {
 		return structuralf("bad protocol marker 0x%02X", raw[0])
 	}
-	op := raw[1]
-	n := len(raw) - 2
+	return validateBody(raw[1], len(raw)-2)
+}
+
+// validateBody is the opcode/length plausibility check on a bare message
+// body of n bytes; the TCP framing layer reuses it without the two-byte
+// datagram prefix.
+func validateBody(op byte, n int) error {
 	switch op {
 	case OpGetServerList, OpServerDescReq:
 		if n != 0 {
@@ -86,15 +106,86 @@ func ValidateStructure(raw []byte) error {
 	return nil
 }
 
-// Decode runs both phases and returns the decoded message.
+// Decode runs both phases and returns a freshly allocated message.
 // Errors satisfy errors.Is with ErrStructural or ErrSemantic so callers
 // can reproduce the paper's failure-class accounting.
 func Decode(raw []byte) (Message, error) {
 	if err := ValidateStructure(raw); err != nil {
 		return nil, err
 	}
-	op := raw[1]
-	r := &buffer{b: raw[2:]}
+	return decodeBody(raw[1], raw[2:], false)
+}
+
+// DecodePooled is Decode drawing high-volume message kinds from per-type
+// pools: the caller must hand the message to Release once done with it,
+// and must not retain it (or any slice inside it) afterwards. The input
+// bytes are never aliased by the result, so raw may be recycled
+// immediately.
+func DecodePooled(raw []byte) (Message, error) {
+	if err := ValidateStructure(raw); err != nil {
+		return nil, err
+	}
+	return decodeBody(raw[1], raw[2:], true)
+}
+
+// msgPool is a typed sync.Pool of message structs. Decoders reset every
+// field they fill, so a pooled struct needs no cleaning on get; slice
+// capacity surviving in the struct is what makes reuse allocation-free.
+type msgPool[T any] struct{ p sync.Pool }
+
+func (mp *msgPool[T]) get(pooled bool) *T {
+	if pooled {
+		if v := mp.p.Get(); v != nil {
+			return v.(*T)
+		}
+	}
+	return new(T)
+}
+
+func (mp *msgPool[T]) put(v *T) { mp.p.Put(v) }
+
+// Pools for the message kinds the capture hot path sees in volume.
+// SearchReq (expression tree), ServerDescRes (strings) and the mesh
+// messages allocate fresh: they are rare and inherently allocating.
+var (
+	serverListPool   msgPool[ServerList]
+	offerFilesPool   msgPool[OfferFiles]
+	offerAckPool     msgPool[OfferAck]
+	searchResPool    msgPool[SearchRes]
+	getSourcesPool   msgPool[GetSources]
+	foundSourcesPool msgPool[FoundSources]
+	statReqPool      msgPool[StatReq]
+	statResPool      msgPool[StatRes]
+)
+
+// Release returns a message obtained from DecodePooled to its pool.
+// It accepts any message (kinds that are not pooled are simply dropped),
+// and tolerates nil, so callers can release unconditionally.
+func Release(m Message) {
+	switch v := m.(type) {
+	case *ServerList:
+		serverListPool.put(v)
+	case *OfferFiles:
+		offerFilesPool.put(v)
+	case *OfferAck:
+		offerAckPool.put(v)
+	case *SearchRes:
+		searchResPool.put(v)
+	case *GetSources:
+		getSourcesPool.put(v)
+	case *FoundSources:
+		foundSourcesPool.put(v)
+	case *StatReq:
+		statReqPool.put(v)
+	case *StatRes:
+		statResPool.put(v)
+	}
+}
+
+// decodeBody decodes one structurally validated message body. pooled
+// selects whether high-volume kinds come from the per-type pools.
+func decodeBody(op byte, payload []byte, pooled bool) (Message, error) {
+	r := buffer{b: payload}
 	var (
 		m   Message
 		err error
@@ -103,92 +194,111 @@ func Decode(raw []byte) (Message, error) {
 	case OpGetServerList:
 		m = GetServerList{}
 	case OpServerList:
-		m, err = decodeServerList(r)
+		v := serverListPool.get(pooled)
+		err = decodeServerList(&r, v)
+		m = v
 	case OpOfferFiles:
-		m, err = decodeOfferFiles(r)
+		v := offerFilesPool.get(pooled)
+		err = decodeOfferFiles(&r, v)
+		m = v
 	case OpOfferAck:
-		var v uint32
-		v, err = r.u32()
-		m = &OfferAck{Accepted: v}
+		v := offerAckPool.get(pooled)
+		v.Accepted, err = r.u32()
+		m = v
 	case OpGlobSearchReq:
-		m, err = decodeSearchReq(r)
+		m, err = decodeSearchReq(&r)
 	case OpGlobSearchRes:
-		m, err = decodeSearchRes(r)
+		v := searchResPool.get(pooled)
+		err = decodeSearchRes(&r, v)
+		m = v
 	case OpGlobGetSources:
-		m, err = decodeGetSources(r)
+		v := getSourcesPool.get(pooled)
+		err = decodeGetSources(&r, v)
+		m = v
 	case OpGlobFoundSrcs:
-		m, err = decodeFoundSources(r)
+		v := foundSourcesPool.get(pooled)
+		err = decodeFoundSources(&r, v)
+		m = v
 	case OpGlobStatReq:
-		var v uint32
-		v, err = r.u32()
-		m = &StatReq{Challenge: v}
+		v := statReqPool.get(pooled)
+		v.Challenge, err = r.u32()
+		m = v
 	case OpGlobStatRes:
-		m, err = decodeStatRes(r)
+		v := statResPool.get(pooled)
+		err = decodeStatRes(&r, v)
+		m = v
 	case OpServerDescReq:
 		m = ServerDescReq{}
 	case OpServerDescRes:
-		m, err = decodeServerDescRes(r)
+		m, err = decodeServerDescRes(&r)
 	case OpMeshAnnounce:
-		m, err = decodeMeshAnnounce(r)
+		m, err = decodeMeshAnnounce(&r)
 	case OpMeshForward:
-		m, err = decodeMeshForward(r)
+		m, err = decodeMeshForward(&r)
 	case OpMeshForwardRes:
-		m, err = decodeMeshForwardRes(r)
+		m, err = decodeMeshForwardRes(&r)
+	}
+	if err == nil && r.remaining() != 0 {
+		err = semanticf("%d trailing bytes after %s", r.remaining(), OpcodeName(op))
 	}
 	if err != nil {
+		if pooled && m != nil {
+			Release(m)
+		}
 		return nil, err
-	}
-	if r.remaining() != 0 {
-		return nil, semanticf("%d trailing bytes after %s", r.remaining(), OpcodeName(op))
 	}
 	return m, nil
 }
 
-func decodeServerList(r *buffer) (Message, error) {
+func decodeServerList(r *buffer, m *ServerList) error {
 	count, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m := &ServerList{Servers: make([]ServerAddr, 0, count)}
+	if m.Servers == nil {
+		m.Servers = make([]ServerAddr, 0, count)
+	} else {
+		m.Servers = m.Servers[:0]
+	}
 	for i := 0; i < int(count); i++ {
 		ip, err := r.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		port, err := r.u16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Servers = append(m.Servers, ServerAddr{IP: ip, Port: port})
 	}
-	return m, nil
+	return nil
 }
 
-func decodeOfferFiles(r *buffer) (Message, error) {
+func decodeOfferFiles(r *buffer, m *OfferFiles) error {
 	cid, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	port, err := r.u16()
+	m.Client = ClientID(cid)
+	m.Port, err = r.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	count, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if count > MaxFilesPerMsg {
-		return nil, semanticf("OfferFiles claims %d files", count)
+		return semanticf("OfferFiles claims %d files", count)
 	}
-	m := &OfferFiles{Client: ClientID(cid), Port: port, Files: make([]FileEntry, 0, count)}
+	m.Files = m.Files[:0]
 	for i := uint32(0); i < count; i++ {
-		e, err := readFileEntry(r)
+		m.Files, err = readFileEntryAppend(r, m.Files)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m.Files = append(m.Files, e)
 	}
-	return m, nil
+	return nil
 }
 
 func decodeSearchReq(r *buffer) (Message, error) {
@@ -200,81 +310,77 @@ func decodeSearchReq(r *buffer) (Message, error) {
 	return &SearchReq{Expr: expr}, nil
 }
 
-func decodeSearchRes(r *buffer) (Message, error) {
+func decodeSearchRes(r *buffer, m *SearchRes) error {
 	count, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if count > MaxFilesPerMsg {
-		return nil, semanticf("SearchRes claims %d results", count)
+		return semanticf("SearchRes claims %d results", count)
 	}
-	m := &SearchRes{Results: make([]FileEntry, 0, count)}
+	m.Results = m.Results[:0]
 	for i := uint32(0); i < count; i++ {
-		e, err := readFileEntry(r)
+		m.Results, err = readFileEntryAppend(r, m.Results)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m.Results = append(m.Results, e)
 	}
-	return m, nil
+	return nil
 }
 
-func decodeGetSources(r *buffer) (Message, error) {
-	m := &GetSources{}
+func decodeGetSources(r *buffer, m *GetSources) error {
+	m.Hashes = m.Hashes[:0]
 	for r.remaining() > 0 {
 		h, err := r.fileID()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Hashes = append(m.Hashes, h)
 	}
-	return m, nil
+	return nil
 }
 
-func decodeFoundSources(r *buffer) (Message, error) {
+func decodeFoundSources(r *buffer, m *FoundSources) error {
 	h, err := r.fileID()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	m.Hash = h
 	count, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Structure guaranteed (n-17)%6 == 0 but not that the count field
 	// agrees with the actual record count: that is a semantic check.
 	if r.remaining() != int(count)*6 {
-		return nil, semanticf("FoundSources count %d disagrees with %d bytes",
+		return semanticf("FoundSources count %d disagrees with %d bytes",
 			count, r.remaining())
 	}
-	m := &FoundSources{Hash: h, Sources: make([]Endpoint, 0, count)}
+	m.Sources = m.Sources[:0]
 	for i := 0; i < int(count); i++ {
 		ip, err := r.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		port, err := r.u16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Sources = append(m.Sources, Endpoint{ID: ClientID(ip), Port: port})
 	}
-	return m, nil
+	return nil
 }
 
-func decodeStatRes(r *buffer) (Message, error) {
-	ch, err := r.u32()
-	if err != nil {
-		return nil, err
+func decodeStatRes(r *buffer, m *StatRes) error {
+	var err error
+	if m.Challenge, err = r.u32(); err != nil {
+		return err
 	}
-	users, err := r.u32()
-	if err != nil {
-		return nil, err
+	if m.Users, err = r.u32(); err != nil {
+		return err
 	}
-	files, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	return &StatRes{Challenge: ch, Users: users, Files: files}, nil
+	m.Files, err = r.u32()
+	return err
 }
 
 func decodeServerDescRes(r *buffer) (Message, error) {

@@ -1,0 +1,179 @@
+package ed2k
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// msgEqual compares two decoded messages by opcode and canonical
+// re-encoding. Pooled decoding recycles slice capacity, so a recycled
+// message may hold empty-but-non-nil slices where a fresh one holds nil
+// — indistinguishable to every consumer, but not to reflect.DeepEqual.
+func msgEqual(a, b Message) bool {
+	return a.Opcode() == b.Opcode() && bytes.Equal(Encode(a), Encode(b))
+}
+
+// fuzzSeedMessages covers every message type the decoder pools plus the
+// header-only ones, so the corpus starts from valid encodings of each
+// opcode rather than random bytes.
+func fuzzSeedMessages() []Message {
+	return []Message{
+		&ServerList{Servers: []ServerAddr{{IP: 0x01020304, Port: 4661}, {IP: 5, Port: 6}}},
+		&OfferFiles{Files: []FileEntry{fileEntryWith("song.mp3", 3<<20)}},
+		&OfferAck{Accepted: 7},
+		&GetSources{Hashes: []FileID{{1, 2, 3}, {4, 5, 6}}},
+		&FoundSources{Hash: FileID{9}, Sources: []Endpoint{{ID: 1, Port: 2}, {ID: 3, Port: 4}}},
+		&SearchReq{Expr: And(Keyword("mozart"), SizeAtLeast(1<<20))},
+		&SearchRes{Results: []FileEntry{fileEntryWith("concerto.avi", 700<<20)}},
+		&StatReq{Challenge: 0xDEADBEEF},
+		&StatRes{Challenge: 0xDEADBEEF, Users: 10, Files: 20},
+		GetServerList{},
+		ServerDescReq{},
+		&ServerDescRes{Name: "big&server", Desc: "ten <weeks>"},
+	}
+}
+
+func fileEntryWith(name string, size uint32) FileEntry {
+	return FileEntry{
+		ID:     FileID{1, 2, 3, 4, 5},
+		Client: 7,
+		Port:   4662,
+		Tags: []Tag{
+			StringTag(FTFileName, name),
+			UintTag(FTFileSize, size),
+		},
+	}
+}
+
+// FuzzDecode differentially tests the allocating and pooled decoders:
+// they must agree on success, value, and error class for every input —
+// and a pooled object recycled through Release must decode the same
+// input identically (no state may leak between uses).
+func FuzzDecode(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{ProtoEDonkey})
+	f.Add(Encode(&StatReq{Challenge: 1})[:3]) // truncated body
+	f.Add([]byte{0x00, 0x96, 1, 2, 3, 4})     // bad marker
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m1, err1 := Decode(raw)
+		m2, err2 := DecodePooled(raw)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("decoder split: Decode err=%v, DecodePooled err=%v", err1, err2)
+		}
+		if err1 != nil {
+			if errors.Is(err1, ErrStructural) != errors.Is(err2, ErrStructural) {
+				t.Fatalf("error class split: %v vs %v", err1, err2)
+			}
+			return
+		}
+		if !msgEqual(m1, m2) {
+			t.Fatalf("decoded values differ:\nfresh  %#v\npooled %#v", m1, m2)
+		}
+		Release(m2)
+		// Recycle: the pooled slot just returned must decode this input
+		// to the same value again, proving Release left no stale state.
+		m3, err3 := DecodePooled(raw)
+		if err3 != nil {
+			t.Fatalf("recycled decode failed: %v", err3)
+		}
+		if !msgEqual(m1, m3) {
+			t.Fatalf("recycled decode differs:\nfresh    %#v\nrecycled %#v", m1, m3)
+		}
+		Release(m3)
+	})
+}
+
+// chunkReader hands out the stream in fixed-size reads, exercising
+// every frame segmentation the fuzzer picks.
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(c.chunk, min(len(p), len(c.data)))
+	if n == 0 {
+		n = 1
+	}
+	n = copy(p[:n], c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// FuzzStreamReader differentially tests the incremental TCP frame
+// reader against the one-shot ParseTCPStream on the same bytes: the
+// message sequence must be identical under any segmentation, and the
+// two must agree on whether the stream ends cleanly, mid-frame, or in
+// garbage.
+func FuzzStreamReader(f *testing.F) {
+	var stream []byte
+	for _, m := range fuzzSeedMessages() {
+		stream = append(stream, FrameTCP(m)...)
+	}
+	f.Add(stream, 1)
+	f.Add(stream, 4096)
+	f.Add(FrameTCPPacked(&SearchRes{Results: []FileEntry{fileEntryWith("x.iso", 1<<30)}}), 3)
+	f.Add(append(FrameTCP(&LoginRequest{Port: 4662, Nick: "peer"}), FrameTCP(&IDChange{Client: 5})...), 7)
+	f.Add(stream[:len(stream)-2], 5) // ends mid-frame
+	f.Add([]byte{0x42, 0, 0, 0, 0, 0}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 1<<16 {
+			chunk = 1 << 16
+		}
+		want, consumed, werr := ParseTCPStream(data)
+
+		sr := NewStreamReader(&chunkReader{data: data, chunk: chunk})
+		var got []Message
+		var gerr error
+		for {
+			m, err := sr.Next()
+			if err != nil {
+				gerr = err
+				break
+			}
+			got = append(got, m)
+			if len(got) > len(want) {
+				t.Fatalf("StreamReader produced %d messages, ParseTCPStream %d", len(got), len(want))
+			}
+		}
+		for i := range got {
+			if !msgEqual(got[i], want[i]) {
+				t.Fatalf("message %d differs:\nstream %#v\nparse  %#v", i, got[i], want[i])
+			}
+		}
+		switch {
+		case werr != nil:
+			// Garbage frame: the incremental reader must also die on it
+			// (possibly with io.ErrUnexpectedEOF if the bad frame's
+			// length claim runs past the buffered bytes).
+			if gerr == io.EOF && len(got) == len(want) {
+				t.Fatalf("ParseTCPStream failed (%v), StreamReader ended cleanly", werr)
+			}
+		case consumed == len(data):
+			if gerr != io.EOF {
+				t.Fatalf("clean stream: StreamReader err %v, want EOF", gerr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("clean stream: %d messages, want %d", len(got), len(want))
+			}
+		default:
+			if gerr != io.ErrUnexpectedEOF {
+				t.Fatalf("stream ends mid-frame: StreamReader err %v, want ErrUnexpectedEOF", gerr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("mid-frame stream: %d messages, want %d", len(got), len(want))
+			}
+		}
+	})
+}

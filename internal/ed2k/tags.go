@@ -81,44 +81,55 @@ func appendTag(b []byte, t Tag) []byte {
 	return b
 }
 
-// readTag decodes one tag, enforcing the type whitelist; an unknown tag
-// type is a semantic error (a structurally plausible but undecodable
-// message, the kind §2.3 attributes to clients with "their own
-// interpretation of the protocol").
-func readTag(r *buffer) (Tag, error) {
-	var t Tag
+// readTagAppend decodes one tag into the next slot of tags, enforcing
+// the type whitelist; an unknown tag type is a semantic error (a
+// structurally plausible but undecodable message, the kind §2.3
+// attributes to clients with "their own interpretation of the
+// protocol"). The slot's Name capacity is reused, so decoding tags with
+// one-byte standard names into a recycled slice allocates nothing;
+// string values are the one inherent allocation.
+func readTagAppend(r *buffer, tags []Tag) ([]Tag, error) {
+	var t *Tag
+	if len(tags) < cap(tags) {
+		tags = tags[:len(tags)+1]
+		t = &tags[len(tags)-1]
+	} else {
+		tags = append(tags, Tag{})
+		t = &tags[len(tags)-1]
+	}
+	t.Str, t.Num = "", 0
 	typ, err := r.u8()
 	if err != nil {
-		return t, err
+		return tags, err
 	}
 	nameLen, err := r.u16()
 	if err != nil {
-		return t, err
+		return tags, err
 	}
 	if int(nameLen) > MaxStringLen {
-		return t, semanticf("tag name length %d exceeds limit", nameLen)
+		return tags, semanticf("tag name length %d exceeds limit", nameLen)
 	}
 	name, err := r.bytes(int(nameLen))
 	if err != nil {
-		return t, err
+		return tags, err
 	}
-	t.Name = append([]byte(nil), name...)
+	t.Name = append(t.Name[:0], name...)
 	t.Type = typ
 	switch typ {
 	case TagString:
 		t.Str, err = r.str()
 		if err != nil {
-			return t, err
+			return tags, err
 		}
 	case TagUint32:
 		t.Num, err = r.u32()
 		if err != nil {
-			return t, err
+			return tags, err
 		}
 	default:
-		return t, semanticf("unknown tag type 0x%02X", typ)
+		return tags, semanticf("unknown tag type 0x%02X", typ)
 	}
-	return t, nil
+	return tags, nil
 }
 
 // FileEntry describes one file as carried in offers and search answers:
@@ -171,36 +182,45 @@ func appendFileEntry(b []byte, e *FileEntry) []byte {
 	return b
 }
 
-func readFileEntry(r *buffer) (FileEntry, error) {
-	var e FileEntry
+// readFileEntryAppend decodes one file entry into the next slot of
+// entries, reusing the slot's Tags capacity (and each tag's Name
+// capacity) when the slice has been recycled through a message pool.
+func readFileEntryAppend(r *buffer, entries []FileEntry) ([]FileEntry, error) {
+	var e *FileEntry
+	if len(entries) < cap(entries) {
+		entries = entries[:len(entries)+1]
+		e = &entries[len(entries)-1]
+		e.Tags = e.Tags[:0]
+	} else {
+		entries = append(entries, FileEntry{})
+		e = &entries[len(entries)-1]
+	}
 	id, err := r.fileID()
 	if err != nil {
-		return e, err
+		return entries, err
 	}
 	e.ID = id
 	cid, err := r.u32()
 	if err != nil {
-		return e, err
+		return entries, err
 	}
 	e.Client = ClientID(cid)
 	e.Port, err = r.u16()
 	if err != nil {
-		return e, err
+		return entries, err
 	}
 	n, err := r.u32()
 	if err != nil {
-		return e, err
+		return entries, err
 	}
 	if n > MaxTagsPerFile {
-		return e, semanticf("file entry claims %d tags", n)
+		return entries, semanticf("file entry claims %d tags", n)
 	}
-	e.Tags = make([]Tag, 0, n)
 	for i := uint32(0); i < n; i++ {
-		t, err := readTag(r)
+		e.Tags, err = readTagAppend(r, e.Tags)
 		if err != nil {
-			return e, err
+			return entries, err
 		}
-		e.Tags = append(e.Tags, t)
 	}
-	return e, nil
+	return entries, nil
 }

@@ -171,13 +171,23 @@ func ParseTCPStream(stream []byte) (msgs []Message, consumed int, err error) {
 // gigantic frame cannot balloon server memory. Errors are sticky: a
 // stream that produced garbage once is dead, exactly how a real server
 // treats a desynchronised TCP session.
+//
+// Frames are decoded in place: the decoder reads payload bytes directly
+// out of the reader's buffer (and packed frames out of a reusable
+// inflate buffer), never re-copying the body. Decoded messages own their
+// data, so they stay valid across subsequent Next calls.
 type StreamReader struct {
-	r       io.Reader
-	buf     []byte
-	start   int // parse resumes here
-	end     int // valid bytes end here
-	pending []Message
-	err     error
+	r     io.Reader
+	buf   []byte
+	start int // parse resumes here
+	end   int // valid bytes end here
+	err   error
+
+	// Packed-frame machinery, built lazily on the first 0xD4 frame and
+	// reused for the rest of the session.
+	zsrc bytes.Reader
+	zr   io.ReadCloser
+	zbuf []byte
 }
 
 // NewStreamReader returns a frame reader over r.
@@ -190,25 +200,14 @@ func NewStreamReader(r io.Reader) *StreamReader {
 // io.ErrUnexpectedEOF when the stream ends mid-frame.
 func (sr *StreamReader) Next() (Message, error) {
 	for {
-		if len(sr.pending) > 0 {
-			m := sr.pending[0]
-			sr.pending = sr.pending[1:]
-			return m, nil
-		}
 		if sr.err != nil {
 			return nil, sr.err
 		}
-		msgs, consumed, perr := ParseTCPStream(sr.buf[sr.start:sr.end])
-		sr.start += consumed
-		if perr != nil {
+		if m, ok, perr := sr.parseFrame(); perr != nil {
 			sr.err = perr
-		}
-		if len(msgs) > 0 {
-			sr.pending = msgs
-			continue
-		}
-		if sr.err != nil {
 			return nil, sr.err
+		} else if ok {
+			return m, nil
 		}
 		// No complete frame buffered: make room, then read more.
 		if sr.start > 0 && (sr.end == len(sr.buf) || sr.start == sr.end) {
@@ -217,7 +216,7 @@ func (sr *StreamReader) Next() (Message, error) {
 		}
 		if sr.end == len(sr.buf) {
 			if len(sr.buf) >= MaxTCPFrame+6 {
-				// ParseTCPStream rejects length claims above MaxTCPFrame
+				// parseFrame rejects length claims above MaxTCPFrame
 				// before this can trigger; defence in depth.
 				sr.err = structuralf("TCP frame exceeds %d bytes", MaxTCPFrame)
 				return nil, sr.err
@@ -242,7 +241,85 @@ func (sr *StreamReader) Next() (Message, error) {
 	}
 }
 
-// decodeTCPBody decodes one frame body (already inflated).
+// parseFrame attempts to decode one complete frame at the head of the
+// buffer. ok is false when more bytes are needed.
+func (sr *StreamReader) parseFrame() (m Message, ok bool, err error) {
+	b := sr.buf[sr.start:sr.end]
+	if len(b) < 6 {
+		return nil, false, nil
+	}
+	proto := b[0]
+	if proto != ProtoEDonkey && proto != ProtoPacked {
+		return nil, false, structuralf("bad TCP frame marker 0x%02X", proto)
+	}
+	length := binary.LittleEndian.Uint32(b[1:])
+	if length == 0 || length > MaxTCPFrame {
+		return nil, false, structuralf("TCP frame length %d", length)
+	}
+	if len(b)-5 < int(length) {
+		return nil, false, nil // incomplete frame: wait for more bytes
+	}
+	op := b[5]
+	if !tcpOpcodeKnown(op) {
+		return nil, false, structuralf("unknown TCP opcode 0x%02X", op)
+	}
+	payload := b[6 : 5+int(length)]
+	if proto == ProtoPacked {
+		payload, err = sr.inflate(payload)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	m, err = decodeTCPBody(op, payload)
+	if err != nil {
+		return nil, false, err
+	}
+	sr.start += 5 + int(length)
+	return m, true, nil
+}
+
+// inflate decompresses one packed frame body into the reader's reusable
+// inflate buffer, resetting the session's single zlib reader in place.
+func (sr *StreamReader) inflate(payload []byte) ([]byte, error) {
+	sr.zsrc.Reset(payload)
+	if sr.zr == nil {
+		zr, err := zlib.NewReader(&sr.zsrc)
+		if err != nil {
+			return nil, semanticf("packed frame: %v", err)
+		}
+		sr.zr = zr
+	} else if err := sr.zr.(zlib.Resetter).Reset(&sr.zsrc, nil); err != nil {
+		return nil, semanticf("packed frame: %v", err)
+	}
+	if sr.zbuf == nil {
+		sr.zbuf = make([]byte, 4096)
+	}
+	total := 0
+	for {
+		if total == len(sr.zbuf) {
+			if total > MaxTCPFrame {
+				return nil, semanticf("packed frame inflates past %d bytes", MaxTCPFrame)
+			}
+			// One byte of headroom past the limit lets an exactly-
+			// MaxTCPFrame body still observe its EOF.
+			grown := make([]byte, min(2*len(sr.zbuf), MaxTCPFrame+1))
+			copy(grown, sr.zbuf[:total])
+			sr.zbuf = grown
+		}
+		n, err := sr.zr.Read(sr.zbuf[total:])
+		total += n
+		if err == io.EOF {
+			return sr.zbuf[:total], nil
+		}
+		if err != nil {
+			return nil, semanticf("packed frame inflate: %v", err)
+		}
+	}
+}
+
+// decodeTCPBody decodes one frame body (already inflated). The payload
+// is read in place — never copied — and the returned message does not
+// alias it.
 func decodeTCPBody(op byte, payload []byte) (Message, error) {
 	switch op {
 	case OpLoginRequest:
@@ -266,11 +343,10 @@ func decodeTCPBody(op byte, payload []byte) (Message, error) {
 		}
 		return m, nil
 	default:
-		// Shared opcodes reuse the UDP decoder by re-wrapping the body
-		// as a datagram.
-		raw := make([]byte, 0, 2+len(payload))
-		raw = append(raw, ProtoEDonkey, op)
-		raw = append(raw, payload...)
-		return Decode(raw)
+		// Shared opcodes reuse the UDP decoder directly on the body.
+		if err := validateBody(op, len(payload)); err != nil {
+			return nil, err
+		}
+		return decodeBody(op, payload, false)
 	}
 }

@@ -46,19 +46,38 @@ type IPv4Header struct {
 	HeaderOK  bool // checksum verified
 }
 
-// ipChecksum computes the RFC 791 ones-complement checksum over b.
-func ipChecksum(b []byte) uint16 {
-	var sum uint32
+// checksumAdd accumulates the 16-bit big-endian words of b into sum
+// (RFC 791 ones-complement arithmetic, unfolded).
+func checksumAdd(sum uint32, b []byte) uint32 {
 	for i := 0; i+1 < len(b); i += 2 {
 		sum += uint32(binary.BigEndian.Uint16(b[i:]))
 	}
 	if len(b)%2 == 1 {
 		sum += uint32(b[len(b)-1]) << 8
 	}
+	return sum
+}
+
+// checksumFold folds the carries and complements, finishing a checksum.
+func checksumFold(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = (sum & 0xFFFF) + (sum >> 16)
 	}
 	return ^uint16(sum)
+}
+
+// ipChecksum computes the RFC 791 ones-complement checksum over b.
+func ipChecksum(b []byte) uint16 {
+	return checksumFold(checksumAdd(0, b))
+}
+
+// pseudoHeaderSum accumulates the IPv4 pseudo-header (src, dst, protocol,
+// UDP length) without materialising it — the allocation-free equivalent
+// of summing the 12 bytes RFC 768 describes.
+func pseudoHeaderSum(src, dst uint32, udpLen uint16) uint32 {
+	return (src >> 16) + (src & 0xFFFF) +
+		(dst >> 16) + (dst & 0xFFFF) +
+		uint32(ProtoUDP) + uint32(udpLen)
 }
 
 // EncodeIPv4 builds an IPv4 packet around payload. The header checksum is
@@ -146,13 +165,7 @@ func EncodeUDP(src, dst uint32, srcPort, dstPort uint16, payload []byte) []byte 
 }
 
 func udpChecksum(src, dst uint32, dg []byte) uint16 {
-	pseudo := make([]byte, 12, 12+len(dg)+1)
-	binary.BigEndian.PutUint32(pseudo[0:], src)
-	binary.BigEndian.PutUint32(pseudo[4:], dst)
-	pseudo[9] = ProtoUDP
-	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(dg)))
-	buf := append(pseudo, dg...)
-	sum := ipChecksum(buf)
+	sum := checksumFold(checksumAdd(pseudoHeaderSum(src, dst, uint16(len(dg))), dg))
 	if sum == 0 {
 		sum = 0xFFFF // per RFC 768, transmitted zero means "no checksum"
 	}
@@ -174,13 +187,9 @@ func DecodeUDP(src, dst uint32, dg []byte) (UDPHeader, []byte, error) {
 	}
 	if binary.BigEndian.Uint16(dg[6:]) != 0 { // zero = checksum disabled
 		// Verify: checksum over pseudo-header + datagram must be 0.
-		check := make([]byte, 12, 12+len(dg))
-		binary.BigEndian.PutUint32(check[0:], src)
-		binary.BigEndian.PutUint32(check[4:], dst)
-		check[9] = ProtoUDP
-		binary.BigEndian.PutUint16(check[10:], uint16(len(dg)))
-		check = append(check, dg...)
-		if ipChecksum(check) != 0 {
+		// Accumulated without materialising the pseudo-header, so the
+		// per-datagram decode path allocates nothing.
+		if checksumFold(checksumAdd(pseudoHeaderSum(src, dst, uint16(len(dg))), dg)) != 0 {
 			return h, nil, fmt.Errorf("%w: UDP checksum", ErrMalformed)
 		}
 	}

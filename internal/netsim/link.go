@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"encoding/binary"
+
 	"edtrace/internal/simtime"
 )
 
@@ -30,6 +32,40 @@ func macFor(dst []byte, ip uint32) {
 	dst[3] = byte(ip >> 16)
 	dst[4] = byte(ip >> 8)
 	dst[5] = byte(ip)
+}
+
+// AppendUDPFrame appends a complete ethernet/IPv4/UDP frame carrying
+// payload to buf and returns the extended slice. It is byte-for-byte
+// identical to EncodeEthernet(EncodeIPv4(EncodeUDP(...))) but writes
+// every layer into one buffer — the allocation-free encode path for
+// pooled frame buffers on the live-capture mirror.
+func AppendUDPFrame(buf []byte, src, dst uint32, srcPort, dstPort uint16, payload []byte) []byte {
+	udpLen := UDPHeaderLen + len(payload)
+	off := len(buf)
+	buf = append(buf, make([]byte, EthernetHeaderLen+IPv4HeaderLen+udpLen)...)
+
+	eth := buf[off:]
+	macFor(eth[0:6], dst)
+	macFor(eth[6:12], src)
+	eth[12] = EtherTypeIPv4 >> 8
+	eth[13] = EtherTypeIPv4 & 0xFF
+
+	ip := eth[EthernetHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(IPv4HeaderLen+udpLen))
+	ip[8] = 64 // TTL
+	ip[9] = ProtoUDP
+	binary.BigEndian.PutUint32(ip[12:], src)
+	binary.BigEndian.PutUint32(ip[16:], dst)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:IPv4HeaderLen]))
+
+	dg := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(dg[0:], srcPort)
+	binary.BigEndian.PutUint16(dg[2:], dstPort)
+	binary.BigEndian.PutUint16(dg[4:], uint16(udpLen))
+	copy(dg[UDPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(dg[6:], udpChecksum(src, dst, dg))
+	return buf
 }
 
 // DecodeEthernet strips the frame header, returning the IP packet.

@@ -1,0 +1,62 @@
+// Package profiling provides the -cpuprofile/-memprofile flags shared
+// by the load-bearing commands (edsim, edload), so pipeline hot spots
+// can be captured with the standard pprof toolchain:
+//
+//	edsim -weeks 0.5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuFile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memFile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+)
+
+// Start begins CPU profiling if -cpuprofile was given (call it after
+// flag.Parse). The returned stop function ends the CPU profile and, if
+// -memprofile was given, writes a post-GC heap profile; defer it in
+// main. Both are no-ops when the flags are unset.
+func Start() (stop func(), err error) {
+	if *cpuFile != "" {
+		f, err := os.Create(*cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			writeHeap()
+		}
+		return stop, nil
+	}
+	return writeHeap, nil
+}
+
+// writeHeap dumps the heap profile named by -memprofile, after a GC so
+// the profile shows live objects rather than garbage awaiting sweep.
+func writeHeap() {
+	if *memFile == "" {
+		return
+	}
+	f, err := os.Create(*memFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
+}

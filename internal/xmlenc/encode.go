@@ -29,16 +29,27 @@ func (e *Encoder) Begin(meta map[string]string) error {
 		return fmt.Errorf("xmlenc: Begin called twice")
 	}
 	e.open = true
-	if _, err := e.w.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n"); err != nil {
-		return err
-	}
-	b := []byte(`<edtrace version="1.0"`)
+	_, err := e.w.Write(AppendHeader(nil, meta))
+	return err
+}
+
+// AppendHeader appends the document header (XML declaration plus the
+// opening root element, meta attributes sorted by key) to b. It is the
+// buffer-building twin of Encoder.Begin, for callers that assemble whole
+// chunks in memory (the parallel dataset writer).
+func AppendHeader(b []byte, meta map[string]string) []byte {
+	b = append(b, `<?xml version="1.0" encoding="UTF-8"?>`+"\n"...)
+	b = append(b, `<edtrace version="1.0"`...)
 	for _, k := range sortedKeys(meta) {
 		b = appendAttr(b, k, meta[k])
 	}
-	b = append(b, '>', '\n')
-	_, err := e.w.Write(b)
-	return err
+	return append(b, '>', '\n')
+}
+
+// AppendFooter appends the closing root element to b — the twin of
+// Encoder.End.
+func AppendFooter(b []byte) []byte {
+	return append(b, "</edtrace>\n"...)
 }
 
 func sortedKeys(m map[string]string) []string {
@@ -60,7 +71,16 @@ func (e *Encoder) Write(r *Record) error {
 	if !e.open {
 		return fmt.Errorf("xmlenc: Write before Begin")
 	}
-	b := e.buf[:0]
+	e.buf = AppendRecord(e.buf[:0], r)
+	e.count++
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// AppendRecord appends r's single-line XML element to b and returns the
+// extended buffer. Encoder.Write goes through it; chunk-building callers
+// use it directly.
+func AppendRecord(b []byte, r *Record) []byte {
 	b = append(b, `<r t="`...)
 	b = strconv.AppendFloat(b, r.T, 'f', 3, 64)
 	b = append(b, `" c="`...)
@@ -134,10 +154,7 @@ func (e *Encoder) Write(r *Record) error {
 		}
 		b = append(b, "</r>\n"...)
 	}
-	e.buf = b
-	e.count++
-	_, err := e.w.Write(b)
-	return err
+	return b
 }
 
 // End closes the document and flushes.
@@ -145,7 +162,7 @@ func (e *Encoder) End() error {
 	if !e.open {
 		return fmt.Errorf("xmlenc: End before Begin")
 	}
-	if _, err := e.w.WriteString("</edtrace>\n"); err != nil {
+	if _, err := e.w.Write(AppendFooter(nil)); err != nil {
 		return err
 	}
 	e.open = false

@@ -79,3 +79,41 @@ type Record struct {
 	FilesCount uint32
 	Accepted   uint32
 }
+
+// Reset clears the record for reuse, keeping slice capacity. The capture
+// pipeline recycles one scratch record through every transform, which is
+// why sinks may not retain the records they are handed (see
+// core.RecordSink); retaining sinks must Clone.
+func (r *Record) Reset() {
+	r.T = 0
+	r.Client = 0
+	r.Op = ""
+	r.Dir = DirQuery
+	r.Server = ""
+	r.Files = r.Files[:0]
+	r.FileRefs = r.FileRefs[:0]
+	r.Sources = r.Sources[:0]
+	r.Keywords = r.Keywords[:0]
+	r.MinKB, r.MaxKB = 0, 0
+	r.Users, r.FilesCount, r.Accepted = 0, 0, 0
+}
+
+// Clone returns a deep copy that remains valid after the original is
+// recycled — what a sink must store if it keeps records past its Write
+// call.
+func (r *Record) Clone() *Record {
+	c := *r
+	if r.Files != nil {
+		c.Files = append([]FileInfo(nil), r.Files...)
+	}
+	if r.FileRefs != nil {
+		c.FileRefs = append([]uint32(nil), r.FileRefs...)
+	}
+	if r.Sources != nil {
+		c.Sources = append([]uint32(nil), r.Sources...)
+	}
+	if r.Keywords != nil {
+		c.Keywords = append([]string(nil), r.Keywords...)
+	}
+	return &c
+}

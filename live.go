@@ -28,6 +28,7 @@ import (
 // statistic behind the paper's Figure 2.
 type LiveSource struct {
 	queue chan frameItem
+	free  chan []byte
 	done  chan struct{}
 
 	startOnce sync.Once
@@ -46,7 +47,11 @@ func NewLiveSource(queueFrames int) *LiveSource {
 	}
 	return &LiveSource{
 		queue: make(chan frameItem, queueFrames),
-		done:  make(chan struct{}),
+		// The freelist covers the queue plus the frames in flight inside
+		// the session (consumer batches, shard rounds); overflow or
+		// underflow just means one allocation, never a stall or a leak.
+		free: make(chan []byte, 2*queueFrames),
+		done: make(chan struct{}),
 	}
 }
 
@@ -65,16 +70,34 @@ const (
 func (l *LiveSource) Mirror(srcIP, dstIP uint32, payload []byte) {
 	l.startOnce.Do(func() { l.start = time.Now() })
 	now := simtime.Time(time.Since(l.start))
-	dg := netsim.EncodeUDP(srcIP, dstIP, liveClientPort, liveServerPort, payload)
-	pkt := netsim.EncodeIPv4(netsim.IPv4Header{
-		Protocol: netsim.ProtoUDP, Src: srcIP, Dst: dstIP,
-	}, dg)
-	frame := netsim.EncodeEthernet(srcIP, dstIP, pkt)
+	// Encode the whole ethernet/IP/UDP frame into a recycled buffer in
+	// one pass; the session hands the buffer back via releaseFrame after
+	// the pipeline's last use of it.
+	var buf []byte
+	select {
+	case buf = <-l.free:
+	default:
+	}
+	frame := netsim.AppendUDPFrame(buf[:0], srcIP, dstIP, liveClientPort, liveServerPort, payload)
 	select {
 	case l.queue <- frameItem{t: now, data: frame}:
 		l.captured.Add(1)
 	default:
 		l.dropped.Add(1)
+		l.releaseFrame(frame)
+	}
+}
+
+// releaseFrame returns a frame buffer to the Mirror freelist; the
+// session calls it (via the frameReleaser interface) once the pipeline
+// is done with the frame.
+func (l *LiveSource) releaseFrame(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case l.free <- b:
+	default:
 	}
 }
 

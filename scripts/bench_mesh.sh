@@ -47,6 +47,7 @@ END { printf "\n" }
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
     printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
     printf '  "benchmarks": [\n'
     cat "$TMP.json"

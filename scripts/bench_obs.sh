@@ -86,6 +86,7 @@ done
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
     printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
     printf '  "gate_pct": %s,\n' "$GATE_PCT"
     printf '  "server_handle": {"off_ns_op": %s, "on_ns_op": %s, "overhead_pct": %s},\n' \
         "$SRV_OFF" "$SRV_ON" "$SRV_OVER"

@@ -1,0 +1,132 @@
+#!/bin/sh
+# bench_pipeline.sh — measure the capture pipeline's frame throughput
+# and allocation behaviour, and record both to BENCH_pipeline.json at
+# the repo root.
+#
+# Three benchmarks cover the decode-to-sink path:
+#
+#   BenchmarkPipeline              — the core ProcessFrame hot loop,
+#                                    no session machinery
+#   BenchmarkSessionPipeline       — the full serial Session (batched
+#                                    channel, source to sink)
+#   BenchmarkSessionPipelineSharded — the flow-sharded Session across a
+#                                    worker matrix (shards=2,4,8)
+#
+# All run with -benchmem: the pooled decoder's tentpole property is
+# 0 allocs/op at steady state, and the script exits non-zero if any
+# pipeline benchmark reports otherwise — it doubles as the allocation
+# regression gate that CI runs.
+#
+# The shard matrix is recorded next to host_cpus and GOMAXPROCS: on a
+# 1-CPU box the sharded rows measure pure fan-out/merge overhead, not
+# parallel speedup, and only the hardware context makes the numbers
+# comparable across runs.
+#
+# Usage: scripts/bench_pipeline.sh [benchtime]   (default 2s)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_pipeline.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP.json"' EXIT
+
+echo "running BenchmarkPipeline (benchtime=$BENCHTIME, count=3)..." >&2
+go test -run '^$' -bench '^BenchmarkPipeline$' -benchmem -count 3 \
+    -benchtime "$BENCHTIME" . | tee -a "$TMP" >&2
+echo "running BenchmarkSessionPipeline(Sharded) (benchtime=$BENCHTIME, count=3)..." >&2
+go test -run '^$' -bench '^BenchmarkSessionPipeline(Sharded)?$' -benchmem -count 3 \
+    -benchtime "$BENCHTIME" . | tee -a "$TMP" >&2
+
+# Parse `Benchmark<Name>[-cpu] <iters> <value> <unit> ...` lines into a
+# JSON array; every (value, unit) pair after the iteration count becomes
+# a metric ("ns/op", "msgs/s", "allocs/op", ...).
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (line != "") line = line ", "
+        line = line "\"" $(i + 1) "\": " $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", $1, $2, line
+}
+END { printf "\n" }
+' "$TMP" > "$TMP.json"
+
+# Best (minimum) ns/op across the -count repetitions for an exact
+# benchmark name (an optional -N GOMAXPROCS suffix is tolerated, and
+# "Pipeline" must not swallow "PipelineSharded").
+nsop() {
+    awk -v want="$1" '
+    /^Benchmark/ {
+        if ($1 == want || index($1, want "-") == 1) {
+            for (i = 3; i + 1 <= NF; i += 2)
+                if ($(i + 1) == "ns/op" && (best == "" || $i + 0 < best + 0)) best = $i
+        }
+    }
+    END { print best }' "$TMP"
+}
+# Worst (maximum) allocs/op for a name — the gate has to hold on the
+# bad repetitions, not the good ones.
+allocs() {
+    awk -v want="$1" '
+    /^Benchmark/ {
+        if ($1 == want || index($1, want "-") == 1) {
+            for (i = 3; i + 1 <= NF; i += 2)
+                if ($(i + 1) == "allocs/op" && (best == "" || $i + 0 > best + 0)) best = $i
+        }
+    }
+    END { print best }' "$TMP"
+}
+fps() { awk -v ns="$1" 'BEGIN { printf "%.0f", 1e9 / ns }'; }
+
+CORE_NS="$(nsop BenchmarkPipeline)"
+CORE_AL="$(allocs BenchmarkPipeline)"
+SES_NS="$(nsop BenchmarkSessionPipeline)"
+SES_AL="$(allocs BenchmarkSessionPipeline)"
+
+MATRIX=""
+GATE_FAIL=""
+for n in 2 4 8; do
+    NS="$(nsop "BenchmarkSessionPipelineSharded/shards=$n")"
+    AL="$(allocs "BenchmarkSessionPipelineSharded/shards=$n")"
+    [ -n "$MATRIX" ] && MATRIX="$MATRIX,
+"
+    MATRIX="$MATRIX    {\"shards\": $n, \"ns_frame\": $NS, \"frames_per_sec\": $(fps "$NS"), \"allocs_per_frame\": $AL}"
+    [ "$AL" != 0 ] && GATE_FAIL="sharded/shards=$n allocs/op=$AL"
+done
+[ "$CORE_AL" != 0 ] && GATE_FAIL="core allocs/op=$CORE_AL"
+[ "$SES_AL" != 0 ] && GATE_FAIL="session allocs/op=$SES_AL"
+PASS=true
+[ -n "$GATE_FAIL" ] && PASS=false
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "core_pipeline": {"ns_frame": %s, "frames_per_sec": %s, "allocs_per_frame": %s},\n' \
+        "$CORE_NS" "$(fps "$CORE_NS")" "$CORE_AL"
+    printf '  "session_pipeline": {"ns_frame": %s, "frames_per_sec": %s, "allocs_per_frame": %s},\n' \
+        "$SES_NS" "$(fps "$SES_NS")" "$SES_AL"
+    printf '  "shard_matrix": [\n'
+    printf '%s\n' "$MATRIX"
+    printf '  ],\n'
+    printf '  "zero_alloc_gate_passed": %s,\n' "$PASS"
+    printf '  "benchmarks": [\n'
+    cat "$TMP.json"
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
+echo "core pipeline:    $(fps "$CORE_NS") frames/s (${CORE_NS} ns/frame, ${CORE_AL} allocs/frame)" >&2
+echo "session pipeline: $(fps "$SES_NS") frames/s (${SES_NS} ns/frame, ${SES_AL} allocs/frame)" >&2
+echo "wrote $OUT" >&2
+if [ "$PASS" != true ]; then
+    echo "FAIL: zero-alloc gate: $GATE_FAIL" >&2
+    exit 1
+fi

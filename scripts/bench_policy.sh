@@ -66,6 +66,7 @@ NOPOL_X="$(awk -v a="$NOPOL_P99" -v b="$BASE_P99" 'BEGIN { printf "%.2f", a / b 
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
     printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
     printf '  "probe_p99_ms": {"baseline": %s, "nopolicy": %s, "policy": %s},\n' \
         "$BASE_P99" "$NOPOL_P99" "$POL_P99"
     printf '  "vs_baseline": {"nopolicy_x": %s, "policy_x": %s},\n' \

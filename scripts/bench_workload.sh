@@ -62,6 +62,7 @@ EVENTS_PER_SEC="$(awk -v ns="$NS_OP" -v ev="$EVENTS" \
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
     printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
     printf '  "ten_weeks": {"ns_op": %s, "events_op": %s, "events_per_sec": %s},\n' \
         "$NS_OP" "$EVENTS" "$EVENTS_PER_SEC"
     printf '  "benchmarks": [\n'

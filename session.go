@@ -123,14 +123,15 @@ func (sm *sessionMetrics) drop(n int) {
 	}
 }
 
-// drainDropped counts the batches still queued when the consumer gave
-// up (on success the channel is closed and empty, so this is free).
-func (sm *sessionMetrics) drainDropped(frames <-chan []frameItem) {
-	if sm == nil {
-		return
-	}
+// drainFrames disposes of batches still queued when the consumer gave
+// up: each frame is a capture drop, its buffer goes back to a pooling
+// source, and the batch slice returns to the freelist. On success the
+// channel is closed and empty, so this is free.
+func drainFrames(frames <-chan []frameItem, sm *sessionMetrics, rel frameReleaser, putBatch func([]frameItem)) {
 	for batch := range frames {
-		sm.dropped.Add(uint64(len(batch)))
+		sm.drop(len(batch))
+		releaseFrames(rel, batch)
+		putBatch(batch)
 	}
 }
 
@@ -216,6 +217,7 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 		var werr error
 		dw, werr = dataset.NewWriter(s.o.datasetDir, dataset.WriterOptions{
 			Compress: s.o.datasetGzip,
+			Workers:  s.o.datasetWorkers,
 			Meta:     meta,
 		})
 		if werr != nil {
@@ -278,16 +280,35 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 	frames := make(chan []frameItem, depth)
 	prodErr := make(chan error, 1)
 	sm := newSessionMetrics(s.o.metrics, frames, depth, batchSize, pipe)
+	rel, _ := s.src.(frameReleaser)
+	// Batch slices cycle producer → consumer → freelist → producer, so the
+	// steady state allocates no slice headers or backing arrays per batch.
+	freeBatches := make(chan []frameItem, depth+2)
+	getBatch := func() []frameItem {
+		select {
+		case b := <-freeBatches:
+			return b
+		default:
+			return make([]frameItem, 0, batchSize)
+		}
+	}
+	putBatch := func(b []frameItem) {
+		clear(b)
+		select {
+		case freeBatches <- b[:0]:
+		default:
+		}
+	}
 	go func() {
 		defer close(frames)
-		batch := make([]frameItem, 0, batchSize)
+		batch := getBatch()
 		flush := func() error {
 			if len(batch) == 0 {
 				return nil
 			}
 			select {
 			case frames <- batch:
-				batch = make([]frameItem, 0, batchSize)
+				batch = getBatch()
 				return nil
 			case <-runCtx.Done():
 				return runCtx.Err()
@@ -306,57 +327,85 @@ func (s *Session) Run(ctx context.Context) (res *Result, err error) {
 		if err == nil {
 			err = flush()
 		}
+		if err != nil {
+			// The unflushed partial batch never reaches the consumer: it
+			// is a capture drop, and its buffers go back to the source.
+			sm.drop(len(batch))
+			releaseFrames(rel, batch)
+		}
 		prodErr <- err
 	}()
 
-	// Consumer: the pipeline stage. Sequential today; the channel is the
-	// seam where sharding (fan-out by flow hash) slots in later.
+	// Consumer: the pipeline stage. The frame channel is the seam where
+	// the flow-sharded fan-out slots in: WithShards(n>1) replaces the
+	// serial loop below with the dispatcher/workers/merge of shard.go,
+	// which commits records in the same global order.
 	start := time.Now()
 	var nframes uint64
 	var lastT, lastExpire simtime.Time
 	var pipeErr error
-consume:
-	for {
-		select {
-		case batch, ok := <-frames:
-			if !ok {
-				break consume
-			}
-			for i, f := range batch {
-				if tee != nil {
-					if werr := tee.Write(pcap.RecordAt(f.t, f.data)); werr != nil {
-						pipeErr = werr
+	var decStats core.PipelineStats
+	if nshards := s.o.resolveShards(); nshards > 1 {
+		nframes, lastT, decStats, pipeErr = s.runSharded(runCtx, cancel, &shardRun{
+			pipe:     pipe,
+			tee:      tee,
+			sm:       sm,
+			frames:   frames,
+			putBatch: putBatch,
+			rel:      rel,
+			nshards:  nshards,
+			batch:    batchSize,
+		})
+	} else {
+	consume:
+		for {
+			select {
+			case batch, ok := <-frames:
+				if !ok {
+					break consume
+				}
+				for i, f := range batch {
+					if tee != nil {
+						if werr := tee.Write(pcap.RecordAt(f.t, f.data)); werr != nil {
+							pipeErr = werr
+							sm.drop(len(batch) - i)
+							releaseFrames(rel, batch[i:])
+							cancel()
+							break consume
+						}
+					}
+					if perr := pipe.ProcessFrame(f.t, f.data); perr != nil {
+						pipeErr = perr
 						sm.drop(len(batch) - i)
+						releaseFrames(rel, batch[i:])
 						cancel()
 						break consume
 					}
+					if rel != nil {
+						rel.releaseFrame(f.data)
+					}
+					nframes++
+					sm.frameDone()
+					lastT = f.t
+					if f.t-lastExpire > simtime.Minute {
+						pipe.ExpireReassembly(f.t)
+						lastExpire = f.t
+					}
+					if s.o.progress != nil && nframes%s.o.progressEvery == 0 {
+						s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: f.t})
+					}
 				}
-				if perr := pipe.ProcessFrame(f.t, f.data); perr != nil {
-					pipeErr = perr
-					sm.drop(len(batch) - i)
-					cancel()
-					break consume
-				}
-				nframes++
-				sm.frameDone()
-				lastT = f.t
-				if f.t-lastExpire > simtime.Minute {
-					pipe.ExpireReassembly(f.t)
-					lastExpire = f.t
-				}
-				if s.o.progress != nil && nframes%s.o.progressEvery == 0 {
-					s.o.progress(Progress{Frames: nframes, Records: pipe.Stats().Records, T: f.t})
-				}
+				putBatch(batch)
+				sm.batchDone()
+			case <-ctx.Done():
+				pipeErr = ctx.Err()
+				cancel()
+				break consume
 			}
-			sm.batchDone()
-		case <-ctx.Done():
-			pipeErr = ctx.Err()
-			cancel()
-			break consume
 		}
 	}
 	perr := <-prodErr
-	sm.drainDropped(frames)
+	drainFrames(frames, sm, rel, putBatch)
 	if pipeErr != nil {
 		return nil, pipeErr
 	}
@@ -369,7 +418,7 @@ consume:
 
 	rep := &core.Report{
 		WallClock:       time.Since(start),
-		Pipeline:        pipe.Stats(),
+		Pipeline:        pipe.Stats().Add(decStats),
 		DistinctClients: pipe.ClientAnonymizer().Count(),
 		DistinctFiles:   pipe.FileAnonymizer().Count(),
 		BucketSizes:     pipe.FileAnonymizer().BucketSizes(),

@@ -17,7 +17,7 @@ import (
 type recSink struct{ recs []*xmlenc.Record }
 
 func (m *recSink) Write(r *xmlenc.Record) error {
-	m.recs = append(m.recs, r)
+	m.recs = append(m.recs, r.Clone()) // records are only valid during Write
 	return nil
 }
 

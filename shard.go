@@ -1,0 +1,325 @@
+package edtrace
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+
+	"edtrace/internal/core"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/netsim"
+	"edtrace/internal/pcap"
+	"edtrace/internal/simtime"
+)
+
+// This file implements the flow-sharded pipeline behind WithShards.
+//
+// Topology (the serial consumer loop of session.go split in three):
+//
+//	producer → frames ─ dispatcher ─ in[0] → worker 0 ─ out[0] ─┐
+//	                   │  (flow hash) …                         ├─ merge
+//	                   └─ in[n-1] → worker n-1 ─ out[n-1] ──────┘
+//
+// The dispatcher splits each producer batch into per-shard sub-batches
+// keyed by the client end of the flow (so both directions of a dialog
+// and all fragments of a datagram hit the same worker), tagging every
+// frame with its index in the batch. Workers run the FrameDecoder —
+// parsing, reassembly, ed2k decode — which is the bulk of the per-frame
+// cost. The merge stage commits decoded messages through EmitDecoded in
+// ascending index order, so the order-of-appearance anonymisation (and
+// therefore the record stream) is byte-identical to the serial
+// pipeline's.
+//
+// The stages run in lockstep rounds: every round the dispatcher sends
+// one sub-batch (possibly empty) to every worker, and the merge receives
+// exactly one result from every worker. That framing makes termination
+// and accounting trivial — when the frame channel closes, every in
+// channel closes after the same number of rounds, then every out channel
+// does — at the cost of one channel operation per worker per round,
+// amortised over the batch.
+//
+// Buffer ownership: frame buffers travel producer → dispatcher → worker
+// → merge, which tees and releases them (frameReleaser) after their
+// final use. Decoded messages are pooled (ed2k.DecodePooled); whoever
+// abandons one — merge on a sink error — must ed2k.Release it. Batch and
+// sub-batch slices recycle through channel freelists, so the steady
+// state allocates nothing per frame.
+
+// frameReleaser is implemented by sources that pool their frame buffers
+// (LiveSource and everything embedding it); the session hands each frame
+// back after its final use so Mirror can re-encode into it.
+type frameReleaser interface{ releaseFrame([]byte) }
+
+// shardItem is one frame travelling dispatcher → worker, tagged with its
+// position in the round's batch so the merge can restore global order.
+type shardItem struct {
+	idx  int
+	t    simtime.Time
+	data []byte
+}
+
+// decodedItem is one frame's decode outcome travelling worker → merge.
+// The frame bytes ride along for the pcap tee and the final release.
+type decodedItem struct {
+	idx  int
+	t    simtime.Time
+	data []byte
+	d    core.Decoded
+	ok   bool
+}
+
+// flowShard maps a frame to its worker by hashing the client end of the
+// dialog. The peek reads the IPv4 addresses at their fixed offsets
+// (src/dst sit at bytes 12–20 of the IP header for any IHL); anything
+// too short or non-IPv4 lands on shard 0, whose FrameDecoder counts it
+// malformed exactly like the serial pipeline would.
+func flowShard(frame []byte, isServer func(uint32) bool, n int) int {
+	if len(frame) < netsim.EthernetHeaderLen+netsim.IPv4HeaderLen ||
+		frame[12] != 0x08 || frame[13] != 0x00 ||
+		frame[netsim.EthernetHeaderLen]>>4 != 4 {
+		return 0
+	}
+	src := binary.BigEndian.Uint32(frame[netsim.EthernetHeaderLen+12:])
+	dst := binary.BigEndian.Uint32(frame[netsim.EthernetHeaderLen+16:])
+	client := src
+	if src != dst && isServer(src) && !isServer(dst) {
+		client = dst
+	}
+	// Finalizer-style avalanche so adjacent client addresses spread.
+	h := client
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return int(h % uint32(n))
+}
+
+// shardRun carries the shared state of one sharded consumer stage.
+type shardRun struct {
+	pipe     *core.Pipeline
+	tee      *pcap.Writer
+	sm       *sessionMetrics
+	frames   <-chan []frameItem
+	putBatch func([]frameItem)
+	rel      frameReleaser
+	nshards  int
+	batch    int
+}
+
+// runSharded is the parallel replacement for Session.Run's serial
+// consumer loop. It returns the processed-frame count, the last frame
+// timestamp, the folded per-worker decoder stats, and the first pipeline
+// error (nil on clean completion; user cancellation surfaces through the
+// producer's error instead).
+func (s *Session) runSharded(ctx context.Context, cancel context.CancelFunc, r *shardRun) (nframes uint64, lastT simtime.Time, decStats core.PipelineStats, pipeErr error) {
+	n := r.nshards
+	in := make([]chan []shardItem, n)
+	out := make([]chan []decodedItem, n)
+	decoders := make([]*core.FrameDecoder, n)
+	for i := range in {
+		in[i] = make(chan []shardItem, 2)
+		out[i] = make(chan []decodedItem, 2)
+		decoders[i] = core.NewFrameDecoder()
+	}
+
+	// Channel freelists: cheap, allocation-free handoff of recycled
+	// slices between stages (a sync.Pool would allocate a header per
+	// put for slice values).
+	freeItems := make(chan []shardItem, 4*n)
+	freeDecoded := make(chan []decodedItem, 4*n)
+	getItems := func() []shardItem {
+		select {
+		case b := <-freeItems:
+			return b
+		default:
+			return make([]shardItem, 0, r.batch)
+		}
+	}
+	putItems := func(b []shardItem) {
+		if b == nil {
+			return
+		}
+		clear(b)
+		select {
+		case freeItems <- b[:0]:
+		default:
+		}
+	}
+	getDecoded := func() []decodedItem {
+		select {
+		case b := <-freeDecoded:
+			return b
+		default:
+			return make([]decodedItem, 0, r.batch)
+		}
+	}
+	putDecoded := func(b []decodedItem) {
+		if b == nil {
+			return
+		}
+		clear(b)
+		select {
+		case freeDecoded <- b[:0]:
+		default:
+		}
+	}
+
+	// Workers: one FrameDecoder each. They never watch ctx — the merge
+	// always drains every out channel and the dispatcher always closes
+	// every in channel, so plain sends cannot deadlock and every
+	// dispatched frame is accounted exactly once downstream.
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer close(out[w])
+			dec := decoders[w]
+			var lastExpire simtime.Time
+			for sb := range in[w] {
+				var items []decodedItem
+				if len(sb) > 0 {
+					items = getDecoded()
+					for _, it := range sb {
+						d, ok := dec.DecodeFrame(it.t, it.data)
+						items = append(items, decodedItem{
+							idx: it.idx, t: it.t, data: it.data, d: d, ok: ok,
+						})
+						if it.t-lastExpire > simtime.Minute {
+							dec.ExpireReassembly(it.t)
+							lastExpire = it.t
+						}
+					}
+				}
+				putItems(sb)
+				out[w] <- items
+			}
+		}(w)
+	}
+
+	// Dispatcher: flow-hash fan-out, preserving each frame's index in
+	// the round. After a cancellation the remaining queued batches are
+	// capture drops, mirroring the serial loop's early exit.
+	isServer := r.pipe.IsServer
+	go func() {
+		defer func() {
+			for w := range in {
+				close(in[w])
+			}
+		}()
+		cur := make([][]shardItem, n)
+		for batch := range r.frames {
+			if ctx.Err() != nil {
+				r.sm.drop(len(batch))
+				releaseFrames(r.rel, batch)
+				r.putBatch(batch)
+				continue
+			}
+			for i, f := range batch {
+				w := flowShard(f.data, isServer, n)
+				if cur[w] == nil {
+					cur[w] = getItems()
+				}
+				cur[w] = append(cur[w], shardItem{idx: i, t: f.t, data: f.data})
+			}
+			r.putBatch(batch)
+			for w := 0; w < n; w++ {
+				in[w] <- cur[w]
+				cur[w] = nil
+			}
+		}
+	}()
+
+	// Merge: one round at a time, commit in batch-index order. slots is
+	// scatter scratch — every frame of a round appears exactly once
+	// across the workers' results.
+	slots := make([]decodedItem, r.batch)
+	failed := false
+	for {
+		count := 0
+		closed := false
+		for w := 0; w < n; w++ {
+			items, ok := <-out[w]
+			if !ok {
+				closed = true
+				break
+			}
+			if failed {
+				dropDecoded(r, items)
+			} else {
+				for _, it := range items {
+					slots[it.idx] = it
+				}
+				count += len(items)
+			}
+			putDecoded(items)
+		}
+		if closed {
+			break
+		}
+		if failed {
+			continue
+		}
+		for i := 0; i < count; i++ {
+			it := slots[i]
+			if r.tee != nil {
+				if werr := r.tee.Write(pcap.RecordAt(it.t, it.data)); werr != nil {
+					pipeErr = werr
+				}
+			}
+			if pipeErr == nil && it.ok {
+				if perr := r.pipe.EmitDecoded(it.t, it.d); perr != nil {
+					pipeErr = perr
+				}
+			}
+			if pipeErr != nil {
+				// This frame and the rest of the round are drops.
+				dropDecoded(r, slots[i:count])
+				failed = true
+				cancel()
+				break
+			}
+			if r.rel != nil {
+				r.rel.releaseFrame(it.data)
+			}
+			nframes++
+			r.sm.frameDone()
+			lastT = it.t
+			if s.o.progress != nil && nframes%s.o.progressEvery == 0 {
+				s.o.progress(Progress{Frames: nframes, Records: r.pipe.Stats().Records, T: it.t})
+			}
+		}
+		if !failed {
+			r.sm.batchDone()
+		}
+	}
+	wg.Wait()
+	for _, dec := range decoders {
+		decStats = decStats.Add(dec.Stats())
+	}
+	return nframes, lastT, decStats, pipeErr
+}
+
+// dropDecoded accounts and releases decoded frames the merge abandons
+// after a pipeline error: each is one dropped frame, its pooled message
+// returned, its buffer handed back to the source.
+func dropDecoded(r *shardRun, items []decodedItem) {
+	for _, it := range items {
+		if it.ok {
+			ed2k.Release(it.d.Msg)
+		}
+		if r.rel != nil {
+			r.rel.releaseFrame(it.data)
+		}
+	}
+	r.sm.drop(len(items))
+}
+
+// releaseFrames hands a batch's buffers back to a pooling source.
+func releaseFrames(rel frameReleaser, batch []frameItem) {
+	if rel == nil {
+		return
+	}
+	for _, f := range batch {
+		rel.releaseFrame(f.data)
+	}
+}

@@ -1,0 +1,213 @@
+package edtrace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"edtrace/internal/dataset"
+	"edtrace/internal/ed2k"
+	"edtrace/internal/obs"
+	"edtrace/internal/simtime"
+)
+
+// TestFlowShard pins the dispatch key: both directions of a dialog land
+// on the same worker (so reassembly and dialog state stay coherent),
+// junk lands on shard 0, and results stay in range.
+func TestFlowShard(t *testing.T) {
+	const server, client = uint32(0x0A000001), uint32(0x20304050)
+	isServer := func(a uint32) bool { return a == server }
+	frames := benchFrames(64)
+	for n := 2; n <= 8; n *= 2 {
+		seen := map[int]bool{}
+		for _, f := range frames {
+			w := flowShard(f, isServer, n)
+			if w < 0 || w >= n {
+				t.Fatalf("shard %d out of range [0,%d)", w, n)
+			}
+			seen[w] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("n=%d: %d distinct clients all hashed to one shard", n, len(frames))
+		}
+	}
+	// Query and answer of one dialog: same shard, any worker count.
+	query := liveFrame(t, client, server)
+	answer := liveFrame(t, server, client)
+	for n := 2; n <= 64; n++ {
+		if q, a := flowShard(query, isServer, n), flowShard(answer, isServer, n); q != a {
+			t.Fatalf("n=%d: query shard %d != answer shard %d", n, q, a)
+		}
+	}
+	// Garbage must not panic and must land on shard 0.
+	for _, junk := range [][]byte{nil, {1, 2, 3}, make([]byte, 33), make([]byte, 60)} {
+		if w := flowShard(junk, isServer, 4); w != 0 {
+			t.Fatalf("junk frame on shard %d, want 0", w)
+		}
+	}
+}
+
+// liveFrame builds one mirrored frame the way LiveSource does.
+func liveFrame(t *testing.T, src, dst uint32) []byte {
+	t.Helper()
+	l := NewLiveSource(1)
+	l.Mirror(src, dst, ed2k.Encode(&ed2k.StatReq{Challenge: 1}))
+	l.Close()
+	var frame []byte
+	err := l.Frames(context.Background(), func(_ simtime.Time, f []byte) error {
+		frame = f
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestShardedSerialParity is the tentpole's correctness claim: the
+// flow-sharded pipeline must produce a byte-identical record stream,
+// identical pipeline statistics, and an identical pcap tee to the
+// serial pipeline on the same capture.
+func TestShardedSerialParity(t *testing.T) {
+	sim := tinySim()
+	dir := t.TempDir()
+
+	serial := &recSink{}
+	serialTee := filepath.Join(dir, "serial.pcap")
+	sres, err := NewSession(NewSimSource(sim),
+		WithSink(serial),
+		WithPcapTee(serialTee),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.recs) == 0 {
+		t.Fatal("serial session produced no records")
+	}
+
+	sharded := &recSink{}
+	shardedTee := filepath.Join(dir, "sharded.pcap")
+	pres, err := NewSession(NewSimSource(sim),
+		WithSink(sharded),
+		WithPcapTee(shardedTee),
+		WithShards(4),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sharded.recs) != len(serial.recs) {
+		t.Fatalf("sharded %d records, serial %d", len(sharded.recs), len(serial.recs))
+	}
+	for i := range serial.recs {
+		if !reflect.DeepEqual(sharded.recs[i], serial.recs[i]) {
+			t.Fatalf("record %d differs:\nserial  %+v\nsharded %+v",
+				i, serial.recs[i], sharded.recs[i])
+		}
+	}
+	if sres.Report.Pipeline != pres.Report.Pipeline {
+		t.Fatalf("pipeline stats diverged:\nserial  %+v\nsharded %+v",
+			sres.Report.Pipeline, pres.Report.Pipeline)
+	}
+	if sres.Report.DistinctClients != pres.Report.DistinctClients ||
+		sres.Report.DistinctFiles != pres.Report.DistinctFiles {
+		t.Fatal("anonymisation diverged between serial and sharded runs")
+	}
+	a, err := os.ReadFile(serialTee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(shardedTee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("pcap tees differ: serial %d bytes, sharded %d bytes", len(a), len(b))
+	}
+}
+
+// TestShardedDropAccounting is the frame-conservation invariant under a
+// mid-run pipeline failure, serial and sharded: every emitted frame is
+// counted exactly once as processed or dropped — across the merge's
+// abandoned rounds, the dispatcher's post-cancel batches, and the
+// producer's unflushed partial batch — never twice, never zero times.
+func TestShardedDropAccounting(t *testing.T) {
+	const serverIP = uint32(0x0A000001)
+	const total = 500
+	for _, shards := range []int{1, 4} {
+		src := NewLiveSource(total)
+		for i := 0; i < total; i++ {
+			src.Mirror(0x01000000+uint32(i), serverIP, ed2k.Encode(&ed2k.StatReq{Challenge: uint32(i)}))
+		}
+		src.Close()
+		reg := obs.NewRegistry()
+		_, err := NewSession(src,
+			WithServerIP(serverIP),
+			WithSink(&failingSink{after: 10}),
+			WithMetrics(reg),
+			WithShards(shards),
+			WithBatchSize(32),
+		).Run(context.Background())
+		if err == nil || err.Error() != "sink exploded" {
+			t.Fatalf("shards=%d: sink error not surfaced: %v", shards, err)
+		}
+		frames := reg.Counter("edsession_frames_total", "").Value()
+		dropped := reg.Counter("edsession_dropped_frames_total", "").Value()
+		if frames+dropped != total {
+			t.Fatalf("shards=%d: processed %d + dropped %d != emitted %d",
+				shards, frames, dropped, total)
+		}
+		if frames != 10 {
+			t.Fatalf("shards=%d: %d frames processed before the failing record, want 10", shards, frames)
+		}
+	}
+}
+
+// TestShardedCancellation mirrors TestSessionCancellation on the
+// parallel pipeline: cancelling must stop promptly without deadlocking
+// the dispatcher/worker/merge stages, and still close the dataset into
+// a valid partial capture.
+func TestShardedCancellation(t *testing.T) {
+	sim := tinySim()
+	sim.Workload.NumClients = 2000
+	sim.Workload.NumFiles = 20000
+	sim.Traffic.Duration = 10 * simtime.Week
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	session := NewSession(NewSimSource(sim),
+		WithDataset(dir, false),
+		WithShards(3),
+		WithProgress(func(Progress) { cancel() }),
+		WithProgressEvery(256),
+	)
+	start := time.Now()
+	res, err := session.Run(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (result %v)", err, res)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	man, err := dataset.Open(dir)
+	if err != nil {
+		t.Fatalf("cancelled run left no readable dataset: %v", err)
+	}
+	if man.Records == 0 {
+		t.Fatal("cancelled run wrote no records before stopping")
+	}
+	rep, err := dataset.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("partial dataset violates the spec:\n%v", rep.Violations)
+	}
+}
